@@ -1,0 +1,84 @@
+// Command bhbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bhbench -list
+//	bhbench -exp table5
+//	bhbench -exp all -scale 0.5 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"upcbh/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id (table2..table9, fig5..fig13) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = harness default sizes)")
+		maxThr  = flag.Int("maxthreads", 0, "cap emulated thread counts (0 = experiment defaults)")
+		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
+		steps   = flag.Int("steps", 0, "override total time-steps (default: paper's 4)")
+		warmup  = flag.Int("warmup", 0, "override warmup steps (default: paper's 2)")
+		verbose = flag.Bool("v", false, "print timing of each experiment run")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments (bhbench -exp <id>):")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-8s %s\n           paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	p := bench.DefaultParams()
+	p.Scale = *scale
+	p.MaxThreads = *maxThr
+	p.Steps, p.Warmup = *steps, *warmup
+
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		out, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\npaper: %s\n\n%s\n", e.ID, e.Paper, out)
+		if *verbose {
+			fmt.Printf("(%s ran in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

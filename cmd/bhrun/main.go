@@ -1,0 +1,98 @@
+// Command bhrun executes one Barnes-Hut simulation configuration and
+// prints the per-phase simulated times, runtime statistics, and physics
+// diagnostics.
+//
+// Example:
+//
+//	bhrun -n 16384 -threads 16 -level subspace -steps 4
+//	bhrun -n 8192 -threads 8 -level baseline -pernode 4 -pthreads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upcbh"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 16384, "number of bodies")
+		threads  = flag.Int("threads", 8, "emulated UPC threads")
+		levelS   = flag.String("level", "subspace", "optimization level: baseline|scalars|redistribute|cache|merged|async|subspace")
+		steps    = flag.Int("steps", 4, "time-steps to run")
+		warmup   = flag.Int("warmup", 2, "warmup steps excluded from timing")
+		theta    = flag.Float64("theta", 1.0, "opening criterion")
+		eps      = flag.Float64("eps", 0.05, "softening")
+		dt       = flag.Float64("dt", 0.025, "time-step length")
+		seed     = flag.Uint64("seed", 123, "RNG seed")
+		perNode  = flag.Int("pernode", 1, "threads per node")
+		pthreads = flag.Bool("pthreads", false, "use the threaded (-pthreads) runtime model")
+		noVec    = flag.Bool("novecreduce", false, "disable vector reductions (subspace level)")
+		energy   = flag.Bool("energy", false, "report energy before/after (O(n^2): use modest n)")
+	)
+	flag.Parse()
+
+	level, err := upcbh.ParseLevel(*levelS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := upcbh.DefaultOptions(*n, *threads, level)
+	opts.Steps, opts.Warmup = *steps, *warmup
+	opts.Theta, opts.Eps, opts.Dt, opts.Seed = *theta, *eps, *dt, *seed
+	opts.VectorReduce = !*noVec
+	if m, err := upcbh.NewMachine(*threads, *perNode, *pthreads); err == nil {
+		opts.Machine = m
+	} else {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var e0kin, e0pot float64
+	if *energy {
+		e0kin, e0pot = upcbh.Energy(upcbh.Plummer(*n, *seed), *eps)
+	}
+
+	sim, err := upcbh.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("level=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n\n",
+		level, *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
+	fmt.Printf("%-16s %12s %6s %12s %12s %10s\n", "phase", "t(s)", "%", "msgs", "MB", "locks")
+	total := res.Total()
+	for ph := upcbh.Phase(0); ph < upcbh.NumPhases; ph++ {
+		if res.Phases[ph] == 0 && res.PhaseComm[ph].Msgs == 0 {
+			continue
+		}
+		c := res.PhaseComm[ph]
+		fmt.Printf("%-16s %12.6f %6.1f %12d %12.2f %10d\n",
+			ph, res.Phases[ph], 100*res.Phases[ph]/total, c.Msgs, float64(c.Bytes)/1e6, c.LockAcqs)
+	}
+	fmt.Printf("%-16s %12.6f\n\n", "Total", total)
+
+	st := res.Stats
+	fmt.Printf("interactions (measured steps): %d\n", res.Interactions)
+	fmt.Printf("messages: %d (%.1f MB), remote gets/puts: %d/%d, lock acquires: %d\n",
+		st.Msgs, float64(st.Bytes)/1e6, st.RemoteGets, st.RemotePuts, st.LockAcqs)
+	fmt.Printf("gather requests: %d (single-source fraction %.1f%%)\n",
+		st.GatherReqs, 100*st.SingleSourceFraction())
+	fmt.Printf("bodies migrated per step: %.2f%%, buffer compactions: %d\n",
+		100*res.MigratedFraction, res.BufferCopies)
+
+	if *energy {
+		e1kin, e1pot := upcbh.Energy(res.Bodies, *eps)
+		e0, e1 := e0kin+e0pot, e1kin+e1pot
+		fmt.Printf("\nenergy: initial %.6f (T=%.6f V=%.6f)  final %.6f  drift %.3g%%\n",
+			e0, e0kin, e0pot, e1, 100*(e1-e0)/-e0)
+	}
+}

@@ -1,0 +1,67 @@
+// Galaxy collision: two Plummer spheres on an approach orbit, simulated
+// with the fully optimized distributed Barnes-Hut code. Tracks the
+// separation of the two mass centers over time — the kind of workload the
+// paper's introduction motivates (dynamic, irregular communication: the
+// octree and body ownership change shape as the clusters interpenetrate).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upcbh"
+)
+
+func main() {
+	const (
+		bodies  = 4096
+		threads = 8
+		steps   = 24
+	)
+	ic := upcbh.TwoPlummer(bodies, 99,
+		upcbh.V3{X: 4.0},          // initial separation along x
+		upcbh.V3{X: 1.0, Y: 0.15}) // closing speed with slight offset
+
+	opts := upcbh.DefaultOptions(bodies, threads, upcbh.LevelSubspace)
+	opts.Steps, opts.Warmup = 1, 0 // drive step by step to sample the trajectory
+
+	fmt.Printf("galaxy collision: 2 x %d bodies, %d emulated threads\n\n", bodies/2, threads)
+	fmt.Printf("%6s %12s %14s %14s\n", "step", "separation", "sim t/step(s)", "exchanged")
+
+	state := ic
+	for step := 0; step < steps; step++ {
+		sim, err := upcbh.New(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.SetBodies(state)
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		state = res.Bodies
+		if step%3 == 0 {
+			fmt.Printf("%6d %12.4f %14.6f %13.1f%%\n",
+				step, separation(state), res.Total(), 100*res.MigratedFraction)
+		}
+	}
+	fmt.Println("\nclusters have passed through each other; ownership and tree shape")
+	fmt.Println("changed every step — the dynamic irregular pattern the paper targets.")
+}
+
+// separation returns the distance between the mass centers of the two
+// halves (body IDs are stable, so halves remain identifiable).
+func separation(bodies []upcbh.Body) float64 {
+	var a, b upcbh.V3
+	var ma, mb float64
+	for i := range bodies {
+		if int(bodies[i].ID) < len(bodies)/2 {
+			a = a.AddScaled(bodies[i].Pos, bodies[i].Mass)
+			ma += bodies[i].Mass
+		} else {
+			b = b.AddScaled(bodies[i].Pos, bodies[i].Mass)
+			mb += bodies[i].Mass
+		}
+	}
+	return a.Scale(1 / ma).Sub(b.Scale(1 / mb)).Len()
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"upcbh/internal/core"
+)
+
+// tinyParams keeps harness tests fast.
+func tinyParams() Params {
+	return Params{Scale: 0.05, MaxThreads: 8, Steps: 2, Warmup: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+		"fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
+		"ext-cache", "ext-mpi",
+	}
+	got := map[string]bool{}
+	for _, e := range All() {
+		got[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(got), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("table5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("table99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableExperimentRuns(t *testing.T) {
+	e, err := ByID("table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"Tree-building", "Force Comp.", "Total"} {
+		if !strings.Contains(out, phase) {
+			t.Errorf("output missing row %q:\n%s", phase, out)
+		}
+	}
+	// Paper layout: the c-of-m row exists for table 5 but not table 8.
+	if !strings.Contains(out, "C-of-m") {
+		t.Errorf("table5 should include the c-of-m row")
+	}
+	e8, _ := ByID("table8")
+	out8, err := e8.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out8, "C-of-m") {
+		t.Errorf("table8 should drop the c-of-m row (merged into tree building)")
+	}
+	if !strings.Contains(out8, "Redistribution") {
+		t.Errorf("table8 should include redistribution")
+	}
+}
+
+func TestFigureExperimentsRun(t *testing.T) {
+	p := tinyParams()
+	for _, id := range []string{"fig8", "fig10", "fig11", "fig12"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", id, out)
+		}
+	}
+}
+
+// TestEveryRunnerExecutes smokes every remaining registry entry at a
+// minimal workload, so a broken runner cannot hide until bench time.
+func TestEveryRunnerExecutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs every experiment")
+	}
+	p := Params{Scale: 0.02, MaxThreads: 4, Steps: 2, Warmup: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) < 50 {
+				t.Errorf("output suspiciously short:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestPhaseTableCSV(t *testing.T) {
+	pt, err := strongScalingTable(tinyParams(), core.LevelSubspace, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := pt.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != len(pt.Threads)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(pt.Threads)+1)
+	}
+	if !strings.HasPrefix(lines[0], "threads,") {
+		t.Errorf("CSV header: %s", lines[0])
+	}
+}
+
+func TestParamsScaling(t *testing.T) {
+	p := Params{Scale: 0.5, MaxThreads: 16}
+	if n := p.bodies(16384); n != 8192 {
+		t.Errorf("bodies = %d", n)
+	}
+	th := p.threads([]int{1, 2, 4, 8, 16, 32, 64})
+	if th[len(th)-1] != 16 {
+		t.Errorf("threads capped wrong: %v", th)
+	}
+	if n := (Params{Scale: 0.0001}).bodies(16384); n != 256 {
+		t.Errorf("bodies floor = %d", n)
+	}
+}

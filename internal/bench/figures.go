@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"upcbh/internal/core"
+	"upcbh/internal/machine"
+)
+
+// weakThreads mirrors the paper's weak-scaling sweep (scaled down: the
+// paper goes to 1024-1792 threads on real nodes).
+var weakThreads = []int{4, 8, 16, 32, 64, 128}
+
+// allLevels in cumulative order, for figures 5 and 6.
+var allLevels = []core.Level{
+	core.LevelBaseline, core.LevelScalars, core.LevelRedistribute,
+	core.LevelCacheTree, core.LevelMergedBuild, core.LevelAsync, core.LevelSubspace,
+}
+
+func figureExperiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "fig5",
+			Title: "Figure 5: speed-up of cumulative optimizations (log scale)",
+			Paper: "each added optimization lifts the curve; the full stack reaches ~81x at 112 threads while the baseline never speeds up",
+			Run:   runFig5,
+		},
+		{
+			ID:    "fig6",
+			Title: "Figure 6: time per phase at the maximum thread count, by optimization level",
+			Paper: "force computation shrinks from ~3172s to ~1.6s across levels; with everything applied it is ~82% of a much smaller total",
+			Run:   runFig6,
+		},
+		{
+			ID:    "fig7",
+			Title: "Figure 7: weak scaling before the subspace algorithm (merged build + async force)",
+			Paper: "all phases scale except tree-building, which grows with threads and dominates beyond ~512 threads",
+			Run:   runFig7,
+		},
+		{
+			ID:    "fig8",
+			Title: "Figure 8: per-thread tree-building time split (local build vs merge)",
+			Paper: "local tree building is balanced and cheap (<0.5s); merge time varies 0..26s across threads — the losers of merge conflicts pay",
+			Run:   runFig8,
+		},
+		{
+			ID:    "fig10",
+			Title: "Figure 10: weak scaling, subspace build WITHOUT vector reduction",
+			Paper: "per-subspace scalar reductions make tree-building cost blow up as threads grow",
+			Run: func(p Params) (string, error) {
+				return runWeakSubspace(p, false)
+			},
+		},
+		{
+			ID:    "fig11",
+			Title: "Figure 11: weak scaling, subspace build WITH vector reduction",
+			Paper: "one vector reduction per level: tree-building scales smoothly",
+			Run: func(p Params) (string, error) {
+				return runWeakSubspace(p, true)
+			},
+		},
+		{
+			ID:    "fig12",
+			Title: "Figure 12: weak scaling with varying threads per node",
+			Paper: "fewer nodes for equal threads is slightly better; process mode beats -pthreads by ~50%",
+			Run:   runFig12,
+		},
+		{
+			ID:    "fig13",
+			Title: "Figure 13: strong scaling speed-up, all optimizations",
+			Paper: "near-linear speedup with an inflection where bodies/thread drops to ~4K",
+			Run:   runFig13,
+		},
+	}
+}
+
+// series is one labelled line of a figure.
+type series struct {
+	label string
+	vals  []float64
+}
+
+// formatSeries prints labelled series over the x axis, plus a log-scale
+// ASCII chart for shape comparison.
+func formatSeries(title, yname string, xs []int, ss []series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s", yname+" \\ threads")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%10d", x)
+	}
+	b.WriteByte('\n')
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%-28s", s.label)
+		for _, v := range s.vals {
+			fmt.Fprintf(&b, "%10s", fmtTime(v))
+			if v > 0 {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if hi > lo {
+		b.WriteString("\nlog-scale chart (each # is a factor step; longer = larger):\n")
+		for _, s := range ss {
+			for i, v := range s.vals {
+				bar := 0
+				if v > 0 {
+					bar = int(40 * (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo)))
+				}
+				fmt.Fprintf(&b, "%-22s %6d |%s\n", s.label, xs[i], strings.Repeat("#", bar+1))
+			}
+		}
+	}
+	return b.String()
+}
+
+func runFig5(p Params) (string, error) {
+	n := p.bodies(strongBodies)
+	threads := p.threads(strongThreads)
+	var ss []series
+	for _, level := range allLevels {
+		base := 0.0
+		s := series{label: level.String()}
+		for _, th := range threads {
+			res, err := runOne(options(p, n, th, level, nil))
+			if err != nil {
+				return "", err
+			}
+			if th == threads[0] {
+				// Estimated single-thread time (exact when the sweep
+				// starts at 1 thread, as the defaults do).
+				base = res.Total() * float64(threads[0])
+			}
+			s.vals = append(s.vals, base/res.Total())
+		}
+		ss = append(ss, s)
+	}
+	return formatSeries("Figure 5: speed-up vs same-level single thread", "speedup", threads, ss), nil
+}
+
+func runFig6(p Params) (string, error) {
+	n := p.bodies(strongBodies)
+	threads := p.threads(strongThreads)
+	th := threads[len(threads)-1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: per-phase simulated time at %d threads, by optimization level\n", th)
+	fmt.Fprintf(&b, "%-16s", "phase \\ level")
+	for _, level := range allLevels {
+		fmt.Fprintf(&b, "%13s", level.String())
+	}
+	b.WriteByte('\n')
+	results := make([]*core.Result, len(allLevels))
+	for i, level := range allLevels {
+		res, err := runOne(options(p, n, th, level, nil))
+		if err != nil {
+			return "", err
+		}
+		results[i] = res
+	}
+	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
+		fmt.Fprintf(&b, "%-16s", ph.String())
+		for _, r := range results {
+			fmt.Fprintf(&b, "%13s", fmtTime(r.Phases[ph]))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s", "Total")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%13s", fmtTime(r.Total()))
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// weakTable runs a weak-scaling sweep at a fixed level and returns the
+// per-phase series over thread counts.
+func weakTable(p Params, level core.Level, mut func(*core.Options), machineFor func(int) *machine.Machine) ([]int, []*core.Result, error) {
+	per := p.bodies(weakPerThread)
+	threads := p.threads(weakThreads)
+	var results []*core.Result
+	for _, th := range threads {
+		var m *machine.Machine
+		if machineFor != nil {
+			m = machineFor(th)
+		}
+		opts := options(p, per*th, th, level, m)
+		if mut != nil {
+			mut(&opts)
+		}
+		res, err := runOne(opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		results = append(results, res)
+	}
+	return threads, results, nil
+}
+
+func phaseSeries(threads []int, results []*core.Result, phases []core.Phase) []series {
+	var ss []series
+	for _, ph := range phases {
+		s := series{label: ph.String()}
+		for _, r := range results {
+			s.vals = append(s.vals, r.Phases[ph])
+		}
+		ss = append(ss, s)
+	}
+	tot := series{label: "Total"}
+	for _, r := range results {
+		tot.vals = append(tot.vals, r.Total())
+	}
+	return append(ss, tot)
+}
+
+func runFig7(p Params) (string, error) {
+	threads, results, err := weakTable(p, core.LevelAsync, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	ss := phaseSeries(threads, results, phaseRows(core.LevelAsync))
+	return formatSeries(
+		fmt.Sprintf("Figure 7: weak scaling, %d bodies/thread, merged build + async force", p.bodies(weakPerThread)),
+		"t(s)", threads, ss), nil
+}
+
+func runFig8(p Params) (string, error) {
+	th := 128
+	if p.MaxThreads > 0 && th > p.MaxThreads {
+		th = p.MaxThreads
+	}
+	per := p.bodies(weakPerThread)
+	res, err := runOne(options(p, per*th, th, core.LevelAsync, nil))
+	if err != nil {
+		return "", err
+	}
+	local := make([]float64, th)
+	merge := make([]float64, th)
+	for i, tb := range res.PerThread {
+		local[i], merge[i] = tb.TreeLocal, tb.TreeMerge
+	}
+	sortedM := append([]float64(nil), merge...)
+	sort.Float64s(sortedM)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: tree-building time split across %d threads, %d bodies/thread\n", th, per)
+	fmt.Fprintf(&b, "local build:  min=%s  median=%s  max=%s  (balanced, cheap)\n",
+		fmtTime(minOf(local)), fmtTime(medianOf(local)), fmtTime(maxOf(local)))
+	fmt.Fprintf(&b, "tree merge:   min=%s  median=%s  max=%s  (imbalanced: conflict losers pay)\n",
+		fmtTime(sortedM[0]), fmtTime(medianOf(merge)), fmtTime(sortedM[len(sortedM)-1]))
+	b.WriteString("\nper-thread merge time (sorted, one # per 2% of max):\n")
+	mx := sortedM[len(sortedM)-1]
+	for i, v := range sortedM {
+		if i%8 != 0 && i != len(sortedM)-1 {
+			continue // sample every 8th thread to keep output readable
+		}
+		bar := 0
+		if mx > 0 {
+			bar = int(50 * v / mx)
+		}
+		fmt.Fprintf(&b, "%4d %10s |%s\n", i, fmtTime(v), strings.Repeat("#", bar+1))
+	}
+	return b.String(), nil
+}
+
+func runWeakSubspace(p Params, vectorReduce bool) (string, error) {
+	threads, results, err := weakTable(p, core.LevelSubspace,
+		func(o *core.Options) { o.VectorReduce = vectorReduce }, nil)
+	if err != nil {
+		return "", err
+	}
+	ss := phaseSeries(threads, results, phaseRows(core.LevelSubspace))
+	mode := "with"
+	fig := "Figure 11"
+	if !vectorReduce {
+		mode = "WITHOUT"
+		fig = "Figure 10"
+	}
+	return formatSeries(
+		fmt.Sprintf("%s: weak scaling, subspace build %s vector reduction, %d bodies/thread",
+			fig, mode, p.bodies(weakPerThread)),
+		"t(s)", threads, ss), nil
+}
+
+func runFig12(p Params) (string, error) {
+	configs := []struct {
+		label    string
+		perNode  int
+		pthreads bool
+	}{
+		{"1 thread/node (pthreads)", 1, true},
+		{"4 threads/node (pthreads)", 4, true},
+		{"8 threads/node (pthreads)", 8, true},
+		{"16 threads/node (pthreads)", 16, true},
+		{"1 process/node (no pthreads)", 1, false},
+	}
+	per := p.bodies(weakPerThread)
+	threads := p.threads(weakThreads)
+	var ss []series
+	for _, cfg := range configs {
+		s := series{label: cfg.label}
+		for _, th := range threads {
+			perNode := cfg.perNode
+			if perNode > th {
+				perNode = th
+			}
+			m := machine.MustNew(th, perNode, cfg.pthreads, machine.Power5())
+			res, err := runOne(options(p, per*th, th, core.LevelSubspace, m))
+			if err != nil {
+				return "", err
+			}
+			s.vals = append(s.vals, res.Total())
+		}
+		ss = append(ss, s)
+	}
+	return formatSeries(
+		fmt.Sprintf("Figure 12: weak scaling by threads per node, %d bodies/thread", per),
+		"t(s)", threads, ss), nil
+}
+
+func runFig13(p Params) (string, error) {
+	n := p.bodies(4 * strongBodies) // larger problem so the inflection is visible
+	threads := p.threads(strongThreads)
+	var base float64
+	s := series{label: "subspace (all opts)"}
+	ideal := series{label: "ideal"}
+	for i, th := range threads {
+		res, err := runOne(options(p, n, th, core.LevelSubspace, nil))
+		if err != nil {
+			return "", err
+		}
+		if i == 0 {
+			base = res.Total() * float64(th)
+		}
+		s.vals = append(s.vals, base/res.Total())
+		ideal.vals = append(ideal.vals, float64(th))
+	}
+	out := formatSeries(
+		fmt.Sprintf("Figure 13: strong scaling speed-up, %d bodies (inflection expected near %d bodies/thread)", n, 4096),
+		"speedup", threads, []series{s, ideal})
+	return out, nil
+}
+
+func minOf(v []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func maxOf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func medianOf(v []float64) float64 {
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}

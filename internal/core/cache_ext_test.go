@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+// The transparent cache (§8 extension) must not change the physics, and
+// must land between "no caching" and "manual caching" in simulated time.
+func TestTransparentCacheCorrectAndOrdered(t *testing.T) {
+	run := func(level Level, transparent bool) *Result {
+		opts := DefaultOptions(2048, 8, level)
+		opts.Steps, opts.Warmup = 2, 1
+		opts.TransparentCache = transparent
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(LevelRedistribute, false)
+	cached := run(LevelRedistribute, true)
+	manual := run(LevelCacheTree, false)
+
+	for i := range plain.Bodies {
+		if d := plain.Bodies[i].Pos.Sub(cached.Bodies[i].Pos).Len(); d > 1e-12 {
+			t.Fatalf("transparent cache changed physics at body %d by %g", i, d)
+		}
+	}
+	pf, cf, mf := plain.Phases[PhaseForce], cached.Phases[PhaseForce], manual.Phases[PhaseForce]
+	t.Logf("force comp: no-cache %.4fs, transparent %.4fs, manual %.4fs", pf, cf, mf)
+	if cf > pf/2 {
+		t.Errorf("transparent cache should cut naive force time substantially: %.4f vs %.4f", cf, pf)
+	}
+	if mf > cf*1.3 {
+		t.Errorf("manual caching should not lose to the transparent cache: %.4f vs %.4f", mf, cf)
+	}
+}
+
+// At the baseline, the transparent scalar cache alone (tol/eps/rsize)
+// removes the thread-0 hot-spot.
+func TestTransparentScalarCacheAtBaseline(t *testing.T) {
+	run := func(transparent bool) float64 {
+		opts := DefaultOptions(1024, 8, LevelBaseline)
+		opts.Steps, opts.Warmup = 2, 1
+		opts.TransparentCache = transparent
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total()
+	}
+	plain, cached := run(false), run(true)
+	t.Logf("baseline total: %.3fs, with runtime caches: %.3fs", plain, cached)
+	if cached > plain/2 {
+		t.Errorf("runtime caching should rescue much of the baseline: %.3f vs %.3f", cached, plain)
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
+	"upcbh/internal/upc"
+	"upcbh/internal/vec"
+)
+
+// force dispatches the force-computation phase by optimization level.
+func (s *Sim) force(t *upc.Thread, st *tstate, measured bool) {
+	switch {
+	case s.o.Level >= LevelAsync:
+		s.forceAsync(t, st, measured)
+	case s.o.Level >= LevelCacheTree:
+		s.forceCached(t, st, measured)
+	default:
+		s.forceNaive(t, st, measured)
+	}
+}
+
+// writeForce stores the computed acceleration, potential and new cost
+// back into the body (remote put below LevelRedistribute).
+func (s *Sim) writeForce(t *upc.Thread, st *tstate, br upc.Ref, acc vec.V3, phi float64, inter int) {
+	if measuredLocal := s.o.Level >= LevelRedistribute && s.bodies.IsLocal(t, br); measuredLocal {
+		b := s.bodies.Local(t, br)
+		b.Acc, b.Phi, b.Cost = acc, phi, float64(inter)
+		return
+	}
+	s.bodies.PutBytes(t, br, bytesBodyAcc, func(b *nbody.Body) {
+		b.Acc, b.Phi, b.Cost = acc, phi, float64(inter)
+	})
+}
+
+// forceNaive is the shared-memory-style force computation (L0-L2): every
+// tree node is accessed through pointers-to-shared, field by field, and
+// — at LevelBaseline — tol and eps are read from thread 0's shared
+// scalars at every acceptance test and interaction.
+func (s *Sim) forceNaive(t *upc.Thread, st *tstate, measured bool) {
+	rootNR := s.readRoot(t, st)
+	stack := make([]NodeRef, 0, 128)
+	for _, br := range st.myBodies {
+		pos := s.bodyPos(t, st, br)
+		var acc vec.V3
+		var phi float64
+		inter := 0
+
+		stack = append(stack[:0], rootNR)
+		for len(stack) > 0 {
+			nr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if nr.IsBody() {
+				if nr.Ref() == br {
+					continue // skip self
+				}
+				var ob nbody.Body
+				if st.bodyCache != nil {
+					ob = st.bodyCache.GetBytes(nr.Ref(), bytesBodyMass)
+				} else {
+					ob = s.bodies.GetBytes(t, nr.Ref(), bytesBodyMass)
+				}
+				eps := s.readEps(t, st)
+				da, dp := nbody.Interact(pos, ob.Pos, ob.Mass, eps*eps)
+				acc = acc.Add(da)
+				phi += dp
+				inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			var cell Cell
+			if st.cellCache != nil {
+				// Runtime cache: the whole element is the cache line, so
+				// one (possibly hit) access serves geometry, aggregates
+				// and the child pointers alike.
+				cell = st.cellCache.GetBytes(nr.Ref(), cellBytes)
+			} else {
+				cell = s.cells.GetBytes(t, nr.Ref(), bytesCellAccept)
+			}
+			tol := s.readTol(t, st)
+			if octree.Accept(pos, cell.CofM, cell.Half, tol) {
+				eps := s.readEps(t, st)
+				da, dp := nbody.Interact(pos, cell.CofM, cell.Mass, eps*eps)
+				acc = acc.Add(da)
+				phi += dp
+				inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			if st.cellCache == nil {
+				// Opening the cell: fetch the child pointers too.
+				cell = s.cells.GetBytes(t, nr.Ref(), cellBytes)
+			}
+			for oct := range cell.Sub {
+				if slot := cell.Sub[oct]; !slot.IsNil() {
+					stack = append(stack, slot)
+				}
+			}
+		}
+
+		s.writeForce(t, st, br, acc, phi, inter)
+		if measured {
+			st.inter += uint64(inter)
+		}
+	}
+}
+
+// lnode is a node of the per-thread cached local tree (§5.3): either a
+// cached copy of a remote cell, an alias of a local cell (§5.3.2), or a
+// cached body leaf. The local tree is rebuilt every time-step (cells are
+// read-only within a force phase, so no coherence protocol is needed).
+type lnode struct {
+	isBody  bool
+	bodyRef upc.Ref // leaf identity, for self-skip
+
+	center vec.V3
+	half   float64
+	cofm   vec.V3
+	mass   float64
+
+	sub       [8]NodeRef // original global children (for fetching)
+	child     [8]*lnode
+	localized bool
+	requested bool // async framework: children already on a request list
+}
+
+// fetchLocalRoot copies the global root into a fresh local tree.
+func (s *Sim) fetchLocalRoot(t *upc.Thread, st *tstate) *lnode {
+	rootNR := s.readRoot(t, st)
+	c := s.cells.Get(t, rootNR.Ref())
+	return &lnode{
+		center: c.Center, half: c.Half,
+		cofm: c.CofM, mass: c.Mass,
+		sub: c.Sub,
+	}
+}
+
+// wrapCellValue turns a fetched cell value into an lnode copy.
+func wrapCellValue(c *Cell) *lnode {
+	return &lnode{
+		center: c.Center, half: c.Half,
+		cofm: c.CofM, mass: c.Mass,
+		sub: c.Sub,
+	}
+}
+
+// localizeChildren implements Listing 1/Listing 2: fetch every child of n
+// into the local tree (one blocking get per child, as the paper's first
+// caching scheme does) and mark n localized. With AliasLocalCells
+// (§5.3.2) children that already live in this thread's shared memory are
+// aliased through "shadow pointers" instead of being copied.
+func (s *Sim) localizeChildren(t *upc.Thread, st *tstate, n *lnode) {
+	for oct, slot := range n.sub {
+		if slot.IsNil() {
+			continue
+		}
+		r := slot.Ref()
+		if slot.IsBody() {
+			b := s.bodies.GetBytes(t, r, bytesBodyMass)
+			n.child[oct] = &lnode{isBody: true, bodyRef: r, cofm: b.Pos, mass: b.Mass}
+			continue
+		}
+		if s.o.AliasLocalCells && s.cells.IsLocal(t, r) {
+			cp := s.cells.Raw(r)
+			s.cells.Touch(t, r, bytesSlot) // shadow-pointer setup: a local deref
+			n.child[oct] = wrapCellValue(cp)
+			st.cellsAliased++
+			continue
+		}
+		c := s.cells.Get(t, r) // whole-cell transfer (remote) or local copy
+		t.Charge(s.par.CellInitCost + float64(cellBytes)*s.par.ByteCopyCost)
+		n.child[oct] = wrapCellValue(&c)
+		st.cellsCopied++
+	}
+	n.localized = true
+}
+
+// forceCached is the §5.3 force computation: walk the private local tree
+// with plain pointers, localizing cells on demand with blocking gets.
+func (s *Sim) forceCached(t *upc.Thread, st *tstate, measured bool) {
+	st.lroot = s.fetchLocalRoot(t, st)
+	eps := s.readEps(t, st)
+	tol := s.readTol(t, st)
+	epsSq := eps * eps
+
+	stack := make([]*lnode, 0, 128)
+	for _, br := range st.myBodies {
+		pos := s.bodyPos(t, st, br)
+		var acc vec.V3
+		var phi float64
+		inter := 0
+
+		stack = append(stack[:0], st.lroot)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n.isBody {
+				if n.bodyRef == br {
+					continue
+				}
+				da, dp := nbody.Interact(pos, n.cofm, n.mass, epsSq)
+				acc = acc.Add(da)
+				phi += dp
+				inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			if octree.Accept(pos, n.cofm, n.half, tol) {
+				da, dp := nbody.Interact(pos, n.cofm, n.mass, epsSq)
+				acc = acc.Add(da)
+				phi += dp
+				inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			if !n.localized {
+				s.localizeChildren(t, st, n)
+			}
+			for oct := 7; oct >= 0; oct-- {
+				if ch := n.child[oct]; ch != nil {
+					stack = append(stack, ch)
+				}
+			}
+		}
+
+		s.writeForce(t, st, br, acc, phi, inter)
+		if measured {
+			st.inter += uint64(inter)
+		}
+	}
+}

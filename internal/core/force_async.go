@@ -1,0 +1,246 @@
+package core
+
+import (
+	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
+	"upcbh/internal/upc"
+	"upcbh/internal/vec"
+)
+
+// wbody is one entry of the §5.5 working-body list: a body whose force is
+// being computed concurrently with others, with its frontier of tree
+// nodes still to process.
+type wbody struct {
+	br  upc.Ref
+	pos vec.V3
+	acc vec.V3
+	phi float64
+
+	inter   int
+	active  []*lnode // frontier nodes ready to process
+	blocked []*lnode // frontier nodes waiting for their children
+}
+
+// reqItem maps one gathered child back to its place in the local tree.
+type reqItem struct {
+	parent *lnode
+	oct    int
+	isBody bool
+	idx    int // index into the request's cell or body staging buffer
+}
+
+// request is one aggregated non-blocking gather
+// (bupc_memget_vlist_async): all children of a batch of parents, staged
+// into per-heap buffers. For simplicity all children of a cell travel in
+// the same request, so a request handles between n3 and n3+7 nodes, as in
+// the paper.
+type request struct {
+	parents  []*lnode
+	items    []reqItem
+	cellRefs []upc.Ref
+	cellDst  []Cell
+	bodyRefs []upc.Ref
+	bodyDst  []nbody.Body
+	hc, hb   *upc.Handle
+}
+
+func (r *request) empty() bool { return len(r.items) == 0 }
+
+// forceAsync implements Listing 3: maintain n1 working bodies, aggregate
+// needed remote children into requests of at least n3 cells, keep at most
+// n2 outstanding non-blocking gathers, and overlap communication with the
+// force computation of bodies whose frontiers can still make progress.
+func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
+	st.lroot = s.fetchLocalRoot(t, st)
+	eps := s.readEps(t, st)
+	tol := s.readTol(t, st)
+	epsSq := eps * eps
+	n1, n2, n3 := s.o.N1, s.o.N2, s.o.N3
+
+	queue := st.myBodies
+	next := 0
+	working := make([]*wbody, 0, n1)
+	var pending request
+	var outstanding []*request
+
+	enqueueChildren := func(n *lnode) {
+		n.requested = true
+		pending.parents = append(pending.parents, n)
+		for oct, slot := range n.sub {
+			if slot.IsNil() {
+				continue
+			}
+			if slot.IsBody() {
+				pending.items = append(pending.items, reqItem{parent: n, oct: oct, isBody: true, idx: len(pending.bodyRefs)})
+				pending.bodyRefs = append(pending.bodyRefs, slot.Ref())
+			} else {
+				pending.items = append(pending.items, reqItem{parent: n, oct: oct, idx: len(pending.cellRefs)})
+				pending.cellRefs = append(pending.cellRefs, slot.Ref())
+			}
+		}
+	}
+
+	issue := func() {
+		if pending.empty() {
+			return
+		}
+		r := pending
+		pending = request{}
+		if len(r.cellRefs) > 0 {
+			r.cellDst = make([]Cell, len(r.cellRefs))
+			r.hc = s.cells.GatherAsync(t, r.cellRefs, r.cellDst)
+		}
+		if len(r.bodyRefs) > 0 {
+			r.bodyDst = make([]nbody.Body, len(r.bodyRefs))
+			// Only the position/mass prefix travels: the owners are
+			// concurrently writing force results into the same bodies.
+			r.hb = s.bodies.GatherAsyncBytes(t, r.bodyRefs, r.bodyDst, bytesBodyMass)
+		}
+		outstanding = append(outstanding, &r)
+	}
+
+	complete := func(r *request) {
+		if r.hc != nil {
+			t.WaitSync(r.hc)
+		}
+		if r.hb != nil {
+			t.WaitSync(r.hb)
+		}
+		for _, it := range r.items {
+			if it.isBody {
+				b := &r.bodyDst[it.idx]
+				it.parent.child[it.oct] = &lnode{
+					isBody: true, bodyRef: r.bodyRefs[it.idx],
+					cofm: b.Pos, mass: b.Mass,
+				}
+				continue
+			}
+			c := &r.cellDst[it.idx]
+			t.Charge(s.par.CellInitCost + float64(cellBytes)*s.par.ByteCopyCost)
+			it.parent.child[it.oct] = wrapCellValue(c)
+			st.cellsCopied++
+		}
+		for _, p := range r.parents {
+			p.localized = true
+		}
+	}
+
+	unblock := func() {
+		for _, wb := range working {
+			keep := wb.blocked[:0]
+			for _, n := range wb.blocked {
+				if n.localized {
+					wb.active = append(wb.active, n)
+				} else {
+					keep = append(keep, n)
+				}
+			}
+			wb.blocked = keep
+		}
+	}
+
+	processBody := func(wb *wbody) {
+		for len(wb.active) > 0 {
+			n := wb.active[len(wb.active)-1]
+			wb.active = wb.active[:len(wb.active)-1]
+			if n.isBody {
+				if n.bodyRef == wb.br {
+					continue
+				}
+				da, dp := nbody.Interact(wb.pos, n.cofm, n.mass, epsSq)
+				wb.acc = wb.acc.Add(da)
+				wb.phi += dp
+				wb.inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			if octree.Accept(wb.pos, n.cofm, n.half, tol) {
+				da, dp := nbody.Interact(wb.pos, n.cofm, n.mass, epsSq)
+				wb.acc = wb.acc.Add(da)
+				wb.phi += dp
+				wb.inter++
+				t.Charge(s.par.InteractionCost)
+				continue
+			}
+			if n.localized {
+				for oct := 7; oct >= 0; oct-- {
+					if ch := n.child[oct]; ch != nil {
+						wb.active = append(wb.active, ch)
+					}
+				}
+				continue
+			}
+			if !n.requested {
+				enqueueChildren(n)
+			}
+			wb.blocked = append(wb.blocked, n)
+		}
+	}
+
+	for {
+		// Fill up the list of working bodies.
+		for len(working) < n1 && next < len(queue) {
+			br := queue[next]
+			next++
+			wb := &wbody{br: br, pos: s.bodyPos(t, st, br)}
+			wb.active = append(wb.active, st.lroot)
+			working = append(working, wb)
+		}
+		if len(working) == 0 {
+			if pending.empty() && len(outstanding) == 0 {
+				break
+			}
+			issue()
+			if len(outstanding) > 0 {
+				complete(outstanding[0])
+				outstanding = outstanding[1:]
+			}
+			continue
+		}
+
+		// Compute force for working bodies until they can't make progress.
+		for _, wb := range working {
+			processBody(wb)
+		}
+
+		// Retire finished bodies.
+		keep := working[:0]
+		for _, wb := range working {
+			if len(wb.active) == 0 && len(wb.blocked) == 0 {
+				s.writeForce(t, st, wb.br, wb.acc, wb.phi, wb.inter)
+				if measured {
+					st.inter += uint64(wb.inter)
+				}
+			} else {
+				keep = append(keep, wb)
+			}
+		}
+		working = keep
+
+		// Send out a request if it is long enough and a slot is free.
+		if len(pending.items) >= n3 && len(outstanding) < n2 {
+			issue()
+		}
+
+		// If every working body is blocked, we must drain communication.
+		stuck := len(working) > 0 || next < len(queue)
+		for _, wb := range working {
+			if len(wb.active) > 0 {
+				stuck = false
+			}
+		}
+		if len(working) == n1 || next >= len(queue) {
+			// No new bodies can enter; progress requires completions.
+			if stuck {
+				if len(outstanding) == 0 {
+					issue()
+				}
+				if len(outstanding) > 0 {
+					complete(outstanding[0])
+					outstanding = outstanding[1:]
+					unblock()
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// The per-phase communication profile must attribute traffic where the
+// paper's analysis says it belongs.
+func TestPhaseCommProfile(t *testing.T) {
+	run := func(level Level) *Result {
+		opts := DefaultOptions(2048, 8, level)
+		opts.Steps, opts.Warmup = 2, 1
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(LevelBaseline)
+	// Baseline: the force phase dominates message counts (per-interaction
+	// scalar reads and fine-grained node fetches).
+	if base.PhaseComm[PhaseForce].Msgs < base.PhaseComm[PhaseTree].Msgs {
+		t.Errorf("baseline force msgs (%d) should exceed tree msgs (%d)",
+			base.PhaseComm[PhaseForce].Msgs, base.PhaseComm[PhaseTree].Msgs)
+	}
+	// Tree building is where the locks are.
+	if base.PhaseComm[PhaseTree].LockAcqs == 0 {
+		t.Error("baseline tree building acquired no locks")
+	}
+	if base.PhaseComm[PhaseForce].LockAcqs != 0 {
+		t.Errorf("force phase acquired %d locks; it is read-only", base.PhaseComm[PhaseForce].LockAcqs)
+	}
+
+	redist := run(LevelRedistribute)
+	if redist.PhaseComm[PhaseRedist].Bytes == 0 {
+		t.Error("redistribution moved no bytes")
+	}
+
+	sub := run(LevelSubspace)
+	// Subspace build: no locks anywhere (the lock-free hook is the point).
+	var locks uint64
+	for p := range sub.PhaseComm {
+		locks += sub.PhaseComm[p].LockAcqs
+	}
+	if locks != 0 {
+		t.Errorf("subspace level acquired %d locks; the §6 algorithm is lock-free", locks)
+	}
+	// Async force: gathers recorded in the force phase.
+	if sub.PhaseComm[PhaseForce].GatherReqs == 0 {
+		t.Error("async force issued no aggregated gathers")
+	}
+	// And communication collapses versus the baseline.
+	if sub.PhaseComm[PhaseForce].Msgs*10 > base.PhaseComm[PhaseForce].Msgs {
+		t.Errorf("optimized force msgs (%d) should be <10%% of baseline (%d)",
+			sub.PhaseComm[PhaseForce].Msgs, base.PhaseComm[PhaseForce].Msgs)
+	}
+}

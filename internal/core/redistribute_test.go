@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// A tight double buffer must trigger the §5.2 compaction path ("when
+// curbuf fills up, the thread copies all the bodies in mybodytab[] to
+// the alternative buffer") without changing the physics.
+func TestBufferCompaction(t *testing.T) {
+	run := func(tight bool) *Result {
+		opts := DefaultOptions(2048, 4, LevelMergedBuild)
+		opts.Steps, opts.Warmup = 8, 1
+		opts.Verify = true
+		if tight {
+			// Just above the per-thread body count: a handful of
+			// migrations forces a compaction.
+			opts.testBufferCap = 2048/4 + 24
+		}
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	roomy := run(false)
+	tight := run(true)
+	if tight.BufferCopies == 0 {
+		t.Error("tight buffer never compacted; the double-buffer path is untested")
+	}
+	t.Logf("compactions: tight=%d roomy=%d", tight.BufferCopies, roomy.BufferCopies)
+	for i := range roomy.Bodies {
+		if d := roomy.Bodies[i].Pos.Sub(tight.Bodies[i].Pos).Len(); d > 1e-12 {
+			t.Fatalf("compaction changed physics at body %d by %g", i, d)
+		}
+	}
+}
+
+// Redistribution is what makes advance/c-of-m local; after it, every
+// owned body must be in the owner's shard.
+func TestRedistributionLocalizesOwnership(t *testing.T) {
+	opts := DefaultOptions(1024, 4, LevelRedistribute)
+	opts.Steps, opts.Warmup = 3, 1
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range sim.ts {
+		for _, br := range st.myBodies {
+			if int(br.Thr) != id {
+				t.Fatalf("thread %d owns remote body ref %v after redistribution", id, br)
+			}
+		}
+	}
+}

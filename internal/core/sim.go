@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"upcbh/internal/machine"
+	"upcbh/internal/nbody"
+	"upcbh/internal/upc"
+	"upcbh/internal/vec"
+)
+
+// rootGeom is the root-cell geometry (SPLASH2's rsize plus center); at
+// LevelBaseline it lives in a UPC shared scalar on thread 0 and is read
+// remotely by every insertion, which is the §5.1 pathology.
+type rootGeom struct {
+	Center vec.V3
+	Half   float64
+}
+
+// Sim is one configured Barnes-Hut simulation over the emulated UPC
+// runtime. Create with New, execute with Run.
+type Sim struct {
+	o   Options
+	rt  *upc.Runtime
+	par machine.Params
+
+	bodies *upc.Heap[nbody.Body]
+	cells  *upc.Heap[Cell]
+	locks  *upc.LockArray
+
+	// UPC shared scalars (affinity: thread 0).
+	geomS *upc.Scalar[rootGeom]
+	tolS  *upc.Scalar[float64]
+	epsS  *upc.Scalar[float64]
+	rootS *upc.Scalar[NodeRef]
+
+	init []nbody.Body
+	ts   []*tstate
+}
+
+// tstate is the thread-private state of one UPC thread (the "private
+// area" of the UPC memory model).
+type tstate struct {
+	id int
+
+	// mybodytab: global refs of the bodies this thread currently owns.
+	myBodies []upc.Ref
+
+	// §5.2 double buffer in the thread's local shared space.
+	buf    [2]upc.Ref
+	bufCap int
+	cur    int
+	curLen int
+
+	// mycelltab: cells created this step, in creation order.
+	myCells []upc.Ref
+
+	// Replicated scalars (§5.1; populated at every level, consulted at
+	// LevelScalars and above).
+	tol, eps float64
+	geom     rootGeom
+	root     NodeRef
+
+	// Cached local tree for force computation (§5.3+).
+	lroot *lnode
+
+	// §8 transparent software caches (Options.TransparentCache).
+	cellCache *upc.Cache[Cell]
+	bodyCache *upc.Cache[nbody.Body]
+	scalars   scalarCache
+
+	// Subspace scratch (§6).
+	sub *subspaceState
+
+	// Counters (accumulated over measured steps).
+	inter        uint64
+	migrated     int
+	ownedTot     int
+	bufCopies    int
+	cellsCopied  uint64
+	cellsAliased uint64
+	treeLocalT   float64
+	treeMergeT   float64
+
+	phases    PhaseTimes
+	stepPh    []PhaseTimes
+	phaseComm [NumPhases]upc.Stats // per-phase operation deltas (measured steps)
+}
+
+// New builds a simulation: generates the Plummer initial conditions and
+// sets up the runtime, heaps, locks and shared scalars.
+func New(opts Options) (*Sim, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	rt := upc.NewRuntime(opts.Machine)
+	p := rt.Threads()
+	perThread := opts.Bodies/p + 1
+	bodyChunk := 16 * perThread // buffers must fit one chunk (LocalSlice)
+	if bodyChunk < 4096 {
+		bodyChunk = 4096
+	}
+	s := &Sim{
+		o:      opts,
+		rt:     rt,
+		par:    opts.Machine.Par,
+		bodies: upc.NewHeap[nbody.Body](rt, bodyChunk),
+		cells:  upc.NewHeap[Cell](rt, 1<<14),
+		locks:  rt.NewLockArray(2048),
+		init:   nbody.Plummer(opts.Bodies, opts.Seed),
+		ts:     make([]*tstate, p),
+	}
+	s.geomS = upc.NewScalar(rt, rootGeom{})
+	s.tolS = upc.NewScalar(rt, opts.Theta)
+	s.epsS = upc.NewScalar(rt, opts.Eps)
+	s.rootS = upc.NewScalar(rt, NilNode)
+	for i := range s.ts {
+		s.ts[i] = &tstate{id: i}
+	}
+	return s, nil
+}
+
+// SetBodies replaces the generated initial conditions (must be called
+// before Run). Body IDs are rewritten to slice order.
+func (s *Sim) SetBodies(bodies []nbody.Body) {
+	if len(bodies) < 2 {
+		panic("core: SetBodies needs at least 2 bodies")
+	}
+	s.init = make([]nbody.Body, len(bodies))
+	copy(s.init, bodies)
+	for i := range s.init {
+		s.init[i].ID = int32(i)
+		if s.init[i].Cost <= 0 {
+			s.init[i].Cost = 1
+		}
+	}
+	s.o.Bodies = len(bodies)
+}
+
+// Options returns the configuration of the simulation.
+func (s *Sim) Options() Options { return s.o }
+
+// Run executes the configured number of time-steps on all emulated
+// threads and returns the collected result.
+func (s *Sim) Run() (*Result, error) {
+	s.rt.Run(s.threadMain)
+	return s.collect()
+}
+
+func (s *Sim) threadMain(t *upc.Thread) {
+	st := s.ts[t.ID()]
+	s.setup(t, st)
+	t.Barrier()
+	for step := 0; step < s.o.Steps; step++ {
+		measured := step >= s.o.Warmup
+		var ph PhaseTimes
+		run := func(p Phase, fn func()) {
+			t0 := t.Now()
+			s0 := t.Stats()
+			fn()
+			ph[p] += t.Now() - t0
+			if measured {
+				st.phaseComm[p].Add(t.Stats().Delta(s0))
+			}
+			t.Barrier()
+		}
+
+		// Per-step reset of the shared tree storage.
+		s.cells.Reset(t)
+		st.myCells = st.myCells[:0]
+		t.Barrier()
+
+		switch {
+		case s.o.Level >= LevelSubspace:
+			s.stepSubspace(t, st, &ph, measured)
+		case s.o.Level >= LevelMergedBuild:
+			run(PhaseTree, func() { s.buildMerged(t, st, measured) })
+			run(PhasePartition, func() { s.costzones(t, st) })
+			run(PhaseRedist, func() { s.redistribute(t, st, measured) })
+		default:
+			run(PhaseTree, func() { s.buildGlobal(t, st) })
+			run(PhaseCofM, func() { s.cofmGlobal(t, st) })
+			run(PhasePartition, func() { s.costzones(t, st) })
+			if s.o.Level >= LevelRedistribute {
+				run(PhaseRedist, func() { s.redistribute(t, st, measured) })
+			}
+		}
+
+		if s.o.Verify {
+			if t.ID() == 0 {
+				s.verifyTree(t, st)
+			}
+			t.Barrier()
+		}
+
+		run(PhaseForce, func() { s.force(t, st, measured) })
+		run(PhaseAdvance, func() { s.advance(t, st) })
+
+		if measured {
+			st.phases.Add(ph)
+			st.stepPh = append(st.stepPh, ph)
+		}
+	}
+}
+
+// setup distributes bodies block-wise (the baseline bodytab layout),
+// allocates the §5.2 double buffers, and replicates scalar parameters
+// ("let every thread parse user's input", §5.1). Setup is outside the
+// measured steps.
+func (s *Sim) setup(t *upc.Thread, st *tstate) {
+	me, p, n := t.ID(), t.P(), s.o.Bodies
+	lo, hi := me*n/p, (me+1)*n/p
+	cnt := hi - lo
+
+	capacity := cnt
+	if s.o.Level >= LevelRedistribute {
+		capacity = 4 * (n/p + 1)
+		if capacity < 256 {
+			capacity = 256
+		}
+		if s.o.testBufferCap > 0 {
+			capacity = s.o.testBufferCap
+			if capacity < cnt {
+				capacity = cnt
+			}
+		}
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	st.bufCap = capacity
+	st.buf[0] = s.bodies.Alloc(t, capacity)
+	if s.o.Level >= LevelRedistribute {
+		st.buf[1] = s.bodies.Alloc(t, capacity)
+	}
+	dst := s.bodies.LocalSlice(t, st.buf[0], cnt)
+	copy(dst, s.init[lo:hi])
+	st.cur = 0
+	st.curLen = cnt
+	st.myBodies = st.myBodies[:0]
+	for i := 0; i < cnt; i++ {
+		st.myBodies = append(st.myBodies, upc.Ref{Thr: int32(me), Idx: st.buf[0].Idx + int32(i)})
+	}
+
+	st.tol = s.o.Theta
+	st.eps = s.o.Eps
+	if me == 0 {
+		s.tolS.Write(t, s.o.Theta)
+		s.epsS.Write(t, s.o.Eps)
+	}
+	if s.o.Level >= LevelSubspace {
+		st.sub = newSubspaceState()
+	}
+	if s.o.TransparentCache {
+		st.cellCache = upc.NewCache(t, s.cells, 4096)
+		st.bodyCache = upc.NewCache(t, s.bodies, 4096)
+	}
+}
+
+// scalarCache is the runtime cache for UPC shared scalars (MuPC supports
+// exactly this, §8): one value per scalar, invalidated at barriers.
+type scalarCache struct {
+	gen                uint64
+	tol, eps           float64
+	geom               rootGeom
+	root               NodeRef
+	okT, okE, okG, okR bool
+}
+
+func (sc *scalarCache) epoch(t *upc.Thread) *scalarCache {
+	if g := t.BarrierCount(); g != sc.gen {
+		*sc = scalarCache{gen: g}
+	}
+	return sc
+}
+
+const scalarHitCost = 10e-9
+
+func (s *Sim) cachedScalarF(t *upc.Thread, st *tstate, sc *upc.Scalar[float64], val *float64, ok *bool) float64 {
+	if !*ok {
+		*val = sc.Read(t)
+		*ok = true
+	} else {
+		t.ChargeRaw(scalarHitCost)
+	}
+	return *val
+}
+
+// --- level-dependent parameter access -----------------------------------
+
+func (s *Sim) replicated() bool { return s.o.Level >= LevelScalars }
+
+func (s *Sim) readTol(t *upc.Thread, st *tstate) float64 {
+	if s.replicated() {
+		return st.tol
+	}
+	if s.o.TransparentCache {
+		sc := st.scalars.epoch(t)
+		return s.cachedScalarF(t, st, s.tolS, &sc.tol, &sc.okT)
+	}
+	return s.tolS.Read(t)
+}
+
+func (s *Sim) readEps(t *upc.Thread, st *tstate) float64 {
+	if s.replicated() {
+		return st.eps
+	}
+	if s.o.TransparentCache {
+		sc := st.scalars.epoch(t)
+		return s.cachedScalarF(t, st, s.epsS, &sc.eps, &sc.okE)
+	}
+	return s.epsS.Read(t)
+}
+
+func (s *Sim) readGeom(t *upc.Thread, st *tstate) rootGeom {
+	if s.replicated() {
+		return st.geom
+	}
+	if s.o.TransparentCache {
+		sc := st.scalars.epoch(t)
+		if !sc.okG {
+			sc.geom = s.geomS.Read(t)
+			sc.okG = true
+		} else {
+			t.ChargeRaw(scalarHitCost)
+		}
+		return sc.geom
+	}
+	return s.geomS.Read(t)
+}
+
+func (s *Sim) readRoot(t *upc.Thread, st *tstate) NodeRef {
+	if s.replicated() {
+		return st.root
+	}
+	if s.o.TransparentCache {
+		sc := st.scalars.epoch(t)
+		if !sc.okR {
+			sc.root = s.rootS.Read(t)
+			sc.okR = true
+		} else {
+			t.ChargeRaw(scalarHitCost)
+		}
+		return sc.root
+	}
+	return s.rootS.Read(t)
+}
+
+// bodyPos reads a body's position: through the shared pointer (charged)
+// below LevelRedistribute; through a cast local pointer at and above it
+// when the body is local.
+func (s *Sim) bodyPos(t *upc.Thread, st *tstate, r upc.Ref) vec.V3 {
+	if s.o.Level >= LevelRedistribute && s.bodies.IsLocal(t, r) {
+		return s.bodies.Local(t, r).Pos
+	}
+	return s.bodies.GetBytes(t, r, bytesBodyPos).Pos
+}
+
+// newCell allocates and initializes a cell in the caller's shard.
+func (s *Sim) newCell(t *upc.Thread, st *tstate, center vec.V3, half float64) upc.Ref {
+	r := s.cells.Alloc(t, 1)
+	t.Charge(s.par.CellInitCost)
+	c := s.cells.Raw(r)
+	*c = Cell{Center: center, Half: half}
+	st.myCells = append(st.myCells, r)
+	return r
+}
+
+// boundingBox computes the new root geometry: a local pass over owned
+// bodies and two vector reductions. At LevelBaseline thread 0 publishes
+// it to the shared scalar; above, every thread keeps the replicated copy.
+func (s *Sim) boundingBox(t *upc.Thread, st *tstate) rootGeom {
+	lo := vec.V3{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
+	hi := lo.Scale(-1)
+	for _, br := range st.myBodies {
+		pos := s.bodyPos(t, st, br)
+		lo = lo.Min(pos)
+		hi = hi.Max(pos)
+		t.Charge(s.par.LocalDerefCost)
+	}
+	mins := upc.AllReduceVecF64(t, []float64{lo.X, lo.Y, lo.Z}, upc.OpMin)
+	maxs := upc.AllReduceVecF64(t, []float64{hi.X, hi.Y, hi.Z}, upc.OpMax)
+	center, half := nbody.RootCell(
+		vec.V3{X: mins[0], Y: mins[1], Z: mins[2]},
+		vec.V3{X: maxs[0], Y: maxs[1], Z: maxs[2]})
+	g := rootGeom{Center: center, Half: half}
+	st.geom = g
+	if !s.replicated() {
+		if t.ID() == 0 {
+			s.geomS.Write(t, g)
+		}
+		t.Barrier()
+	}
+	return g
+}
+
+// collect assembles the Result after the SPMD run.
+func (s *Sim) collect() (*Result, error) {
+	p := s.rt.Threads()
+	nsteps := s.o.Steps - s.o.Warmup
+	res := &Result{
+		Level:      s.o.Level,
+		Threads:    p,
+		StepPhases: make([]PhaseTimes, nsteps),
+		PerThread:  make([]ThreadBreakdown, p),
+	}
+	for i, st := range s.ts {
+		if len(st.stepPh) != nsteps {
+			return nil, fmt.Errorf("core: thread %d recorded %d measured steps, want %d", i, len(st.stepPh), nsteps)
+		}
+		for k, ph := range st.stepPh {
+			res.StepPhases[k].MaxInto(ph)
+		}
+		res.PerThread[i] = ThreadBreakdown{
+			Phases:       st.phases,
+			TreeLocal:    st.treeLocalT,
+			TreeMerge:    st.treeMergeT,
+			Interactions: st.inter,
+		}
+		res.Interactions += st.inter
+		res.BufferCopies += st.bufCopies
+		res.CellsCopied += st.cellsCopied
+		res.CellsAliased += st.cellsAliased
+		for p := range st.phaseComm {
+			res.PhaseComm[p].Add(st.phaseComm[p])
+		}
+	}
+	for _, ph := range res.StepPhases {
+		res.Phases.Add(ph)
+	}
+	var migrated, owned int
+	for _, st := range s.ts {
+		migrated += st.migrated
+		owned += st.ownedTot
+	}
+	if owned > 0 {
+		res.MigratedFraction = float64(migrated) / float64(owned)
+	}
+	res.Stats = s.rt.TotalStats()
+
+	// Final body state in ID order.
+	res.Bodies = make([]nbody.Body, 0, s.o.Bodies)
+	for _, st := range s.ts {
+		for _, br := range st.myBodies {
+			res.Bodies = append(res.Bodies, *s.bodies.Raw(br))
+		}
+	}
+	if len(res.Bodies) != s.o.Bodies {
+		return nil, fmt.Errorf("core: ownership covers %d bodies, want %d", len(res.Bodies), s.o.Bodies)
+	}
+	sort.Slice(res.Bodies, func(i, j int) bool { return res.Bodies[i].ID < res.Bodies[j].ID })
+	for i := 1; i < len(res.Bodies); i++ {
+		if res.Bodies[i].ID == res.Bodies[i-1].ID {
+			return nil, fmt.Errorf("core: body %d owned by two threads", res.Bodies[i].ID)
+		}
+	}
+	return res, nil
+}

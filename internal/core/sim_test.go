@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"upcbh/internal/machine"
+	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
+)
+
+// runLevel executes a small simulation at the given level/threads.
+func runLevel(t *testing.T, level Level, n, threads int, mut func(*Options)) *Result {
+	t.Helper()
+	opts := DefaultOptions(n, threads, level)
+	opts.Steps = 2
+	opts.Warmup = 1
+	if mut != nil {
+		mut(&opts)
+	}
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatalf("New(%v): %v", level, err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run(%v): %v", level, err)
+	}
+	return res
+}
+
+// reference runs the same number of steps with the sequential octree
+// solver and SPLASH2-style kick-drift advancing.
+func reference(n int, seed uint64, steps int, theta, eps, dt float64) []nbody.Body {
+	bodies := nbody.Plummer(n, seed)
+	for s := 0; s < steps; s++ {
+		octree.Solve(bodies, theta, eps)
+		for i := range bodies {
+			nbody.AdvanceKickDrift(&bodies[i], dt)
+		}
+	}
+	return bodies
+}
+
+func TestAllLevelsMatchReference(t *testing.T) {
+	const n = 512
+	ref := reference(n, 123, 2, 1.0, 0.05, 0.025)
+	for level := LevelBaseline; level < NumLevels; level++ {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			res := runLevel(t, level, n, 4, nil)
+			if len(res.Bodies) != n {
+				t.Fatalf("got %d bodies, want %d", len(res.Bodies), n)
+			}
+			var worst float64
+			for i := range res.Bodies {
+				if res.Bodies[i].ID != ref[i].ID {
+					t.Fatalf("body order mismatch at %d", i)
+				}
+				d := res.Bodies[i].Pos.Sub(ref[i].Pos).Len()
+				scale := 1 + ref[i].Pos.Len()
+				if e := d / scale; e > worst {
+					worst = e
+				}
+			}
+			// Different traversal orders reorder FP sums; positions must
+			// still agree tightly after 2 steps.
+			if worst > 1e-6 {
+				t.Errorf("worst relative position error vs reference: %g", worst)
+			}
+		})
+	}
+}
+
+func TestForcesAgainstDirectSummation(t *testing.T) {
+	const n = 256
+	// One step with theta=0.5: Barnes-Hut must be within a few percent
+	// of direct summation.
+	direct := nbody.Plummer(n, 7)
+	nbody.Direct(direct, 0.05)
+
+	res := runLevel(t, LevelSubspace, n, 4, func(o *Options) {
+		o.Seed = 7
+		o.Theta = 0.5
+		o.Steps = 1
+		o.Warmup = 0
+	})
+	var worst float64
+	for i := range res.Bodies {
+		e := res.Bodies[i].Acc.Sub(direct[i].Acc).Len() / (1 + direct[i].Acc.Len())
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst acceleration error vs direct summation: %g", worst)
+	}
+	if math.IsNaN(worst) {
+		t.Error("NaN acceleration")
+	}
+}
+
+func TestSimulatedTimeOrdering(t *testing.T) {
+	// The paper's headline: at scale, each optimization level is faster
+	// than the previous. At 8 threads with a small problem the ordering
+	// of the big jumps must already hold.
+	const n = 2048
+	totals := make([]float64, NumLevels)
+	for level := LevelBaseline; level < NumLevels; level++ {
+		res := runLevel(t, level, n, 8, nil)
+		totals[level] = res.Total()
+		t.Logf("%-12s total=%.4fs force=%.4fs tree=%.4fs",
+			level, res.Total(), res.Phases[PhaseForce], res.Phases[PhaseTree])
+	}
+	if !(totals[LevelBaseline] > totals[LevelScalars]) {
+		t.Errorf("replicating scalars should help: baseline %.3f <= scalars %.3f",
+			totals[LevelBaseline], totals[LevelScalars])
+	}
+	if !(totals[LevelScalars] > totals[LevelCacheTree]*2) {
+		t.Errorf("caching should be a large win: scalars %.3f vs cache %.3f",
+			totals[LevelScalars], totals[LevelCacheTree])
+	}
+	if !(totals[LevelBaseline] > totals[LevelSubspace]*20) {
+		t.Errorf("full optimization should be >20x at 8 threads: baseline %.3f vs subspace %.3f",
+			totals[LevelBaseline], totals[LevelSubspace])
+	}
+}
+
+func TestSingleThreadAllLevels(t *testing.T) {
+	ref := reference(300, 5, 2, 1.0, 0.05, 0.025)
+	for level := LevelBaseline; level < NumLevels; level++ {
+		res := runLevel(t, level, 300, 1, func(o *Options) { o.Seed = 5 })
+		for i := range res.Bodies {
+			if d := res.Bodies[i].Pos.Sub(ref[i].Pos).Len(); d > 1e-9 {
+				t.Fatalf("%v: single-thread position diverges at body %d by %g", level, i, d)
+			}
+		}
+	}
+}
+
+func TestMigrationFractionSmall(t *testing.T) {
+	// §5.2: in steady state only ~2% of bodies migrate per step. Run a
+	// few steps so the first (full) redistribution is excluded.
+	res := runLevel(t, LevelMergedBuild, 4096, 4, func(o *Options) {
+		o.Steps = 5
+		o.Warmup = 2
+	})
+	if res.MigratedFraction > 0.15 {
+		t.Errorf("migrated fraction %.3f, want small steady-state migration", res.MigratedFraction)
+	}
+}
+
+func TestPthreadModeSlower(t *testing.T) {
+	// Table 8 vs 9: with the same thread count, the threaded runtime is
+	// ~1.4-2x slower than one process per node.
+	mk := func(pthreads bool) float64 {
+		opts := DefaultOptions(2048, 4, LevelSubspace)
+		opts.Steps, opts.Warmup = 2, 1
+		if pthreads {
+			opts.Machine = machine.MustNew(4, 4, true, machine.Power5())
+		}
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total()
+	}
+	proc, thr := mk(false), mk(true)
+	if thr <= proc {
+		t.Errorf("pthread mode should be slower: process %.4f vs pthread %.4f", proc, thr)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "testing"
+
+// TestConcurrentStress hammers the lock-protocol-heavy levels with many
+// threads and seeds, with full structural verification enabled. This is
+// the regression test for the cost double-counting bug: inflated cell
+// costs silently broke the exact-prefix arithmetic of costzones and
+// produced duplicate body ownership (visible only as rare depth-limit
+// panics under contention).
+func TestConcurrentStress(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 3
+	}
+	for iter := 0; iter < iters; iter++ {
+		for _, level := range []Level{LevelBaseline, LevelCacheTree, LevelMergedBuild, LevelAsync, LevelSubspace} {
+			opts := DefaultOptions(2048, 16, level)
+			opts.Steps, opts.Warmup = 2, 1
+			opts.Seed = uint64(100 + iter)
+			opts.Verify = true
+			sim, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.Run(); err != nil {
+				t.Fatalf("iter %d level %v: %v", iter, level, err)
+			}
+		}
+	}
+}
+
+// TestVerifyAllLevels runs every level with the structural verifier on.
+func TestVerifyAllLevels(t *testing.T) {
+	for level := LevelBaseline; level < NumLevels; level++ {
+		opts := DefaultOptions(1024, 6, level)
+		opts.Steps, opts.Warmup = 3, 1
+		opts.Verify = true
+		sim, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"upcbh/internal/nbody"
+	"upcbh/internal/vec"
+)
+
+// runSubspace runs a LevelSubspace simulation with optional tweaks.
+func runSubspace(t *testing.T, n, threads int, mut func(*Options)) *Result {
+	t.Helper()
+	opts := DefaultOptions(n, threads, LevelSubspace)
+	opts.Steps, opts.Warmup = 3, 1
+	opts.Verify = true
+	if mut != nil {
+		mut(&opts)
+	}
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The subspace owner assignment targets per-thread cost shares of at
+// most (1+alpha) x average (§6); interactions per thread measure the
+// realized balance.
+func TestSubspaceLoadBalance(t *testing.T) {
+	res := runSubspace(t, 8192, 8, nil)
+	var min, max uint64 = ^uint64(0), 0
+	var total uint64
+	for _, tb := range res.PerThread {
+		if tb.Interactions < min {
+			min = tb.Interactions
+		}
+		if tb.Interactions > max {
+			max = tb.Interactions
+		}
+		total += tb.Interactions
+	}
+	avg := float64(total) / float64(len(res.PerThread))
+	t.Logf("interactions/thread: min=%d avg=%.0f max=%d (max/avg=%.2f)", min, avg, max, float64(max)/avg)
+	// The paper's bound is (1+alpha)=1.67x average on *costs*; realized
+	// interaction counts track costs with one step of lag, so allow 2x.
+	if float64(max) > 2*avg {
+		t.Errorf("subspace ownership imbalanced: max %d vs avg %.0f", max, avg)
+	}
+	if min == 0 {
+		t.Error("a thread computed no interactions at all")
+	}
+}
+
+// Alpha controls the division threshold tau = alpha*Cost/THREADS: a
+// smaller alpha divides deeper (more, finer subspaces).
+func TestSubspaceAlphaEffect(t *testing.T) {
+	coarse := runSubspace(t, 4096, 8, func(o *Options) { o.SubspaceAlpha = 2.0 })
+	fine := runSubspace(t, 4096, 8, func(o *Options) { o.SubspaceAlpha = 0.25 })
+	// Both must be correct (Verify on); finer division must not worsen
+	// balance.
+	spread := func(r *Result) float64 {
+		var min, max uint64 = ^uint64(0), 0
+		for _, tb := range r.PerThread {
+			if tb.Interactions < min {
+				min = tb.Interactions
+			}
+			if tb.Interactions > max {
+				max = tb.Interactions
+			}
+		}
+		return float64(max) / float64(min)
+	}
+	cs, fs := spread(coarse), spread(fine)
+	t.Logf("max/min interactions: alpha=2.0 -> %.2f, alpha=0.25 -> %.2f", cs, fs)
+	if fs > cs*1.5 {
+		t.Errorf("finer subspace division worsened balance: %.2f vs %.2f", fs, cs)
+	}
+}
+
+// The subspace build must work when bodies are clustered in a tiny
+// off-center ball (deep division concentrated on one branch) and when
+// one outlier stretches the root cube.
+func TestSubspaceClusteredBodies(t *testing.T) {
+	cl := nbody.Plummer(1024, 77)
+	for i := range cl {
+		cl[i].Pos = cl[i].Pos.Scale(0.01).Add(vec.V3{X: 5, Y: 5, Z: 5})
+	}
+	cl[0].Pos = vec.V3{X: -50, Y: 0, Z: 0} // outlier
+
+	opts := DefaultOptions(len(cl), 8, LevelSubspace)
+	opts.Steps, opts.Warmup = 2, 1
+	opts.Verify = true
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetBodies(cl)
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bodies) != len(cl) {
+		t.Fatalf("lost bodies: %d of %d", len(res.Bodies), len(cl))
+	}
+}

@@ -1,0 +1,259 @@
+// Package core implements the paper's contribution: the distributed
+// Barnes-Hut algorithm in the emulated UPC runtime, at every optimization
+// level the paper describes (§4-§6), with the SPLASH2 phase structure and
+// per-phase simulated timing.
+package core
+
+import (
+	"fmt"
+
+	"upcbh/internal/machine"
+	"upcbh/internal/nbody"
+	"upcbh/internal/upc"
+)
+
+// Phase identifies one phase of a Barnes-Hut time-step, matching the rows
+// of the paper's tables.
+type Phase int
+
+// The phases, in execution order.
+const (
+	PhaseTree Phase = iota // tree building (incl. bounding box; incl. merge/cofm at L4+)
+	PhaseCofM              // center-of-mass computation (separate phase at L0-L3 only)
+	PhasePartition
+	PhaseRedist // body redistribution (L2+)
+	PhaseForce
+	PhaseAdvance
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"Tree-building", "C-of-m Comp.", "Partitioning", "Redistribution",
+	"Force Comp.", "Body-adv.",
+}
+
+// String returns the paper's row label for the phase.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// PhaseTimes holds simulated seconds per phase.
+type PhaseTimes [NumPhases]float64
+
+// Total returns the summed time over all phases.
+func (pt PhaseTimes) Total() float64 {
+	var s float64
+	for _, v := range pt {
+		s += v
+	}
+	return s
+}
+
+// Add accumulates o into pt.
+func (pt *PhaseTimes) Add(o PhaseTimes) {
+	for i := range pt {
+		pt[i] += o[i]
+	}
+}
+
+// MaxInto keeps the element-wise maximum of pt and o in pt.
+func (pt *PhaseTimes) MaxInto(o PhaseTimes) {
+	for i := range pt {
+		if o[i] > pt[i] {
+			pt[i] = o[i]
+		}
+	}
+}
+
+// Level is a cumulative optimization level from the paper. Each level
+// includes all optimizations of the levels below it.
+type Level int
+
+// The optimization levels, in the order the paper introduces them.
+const (
+	// LevelBaseline is the §4 literal SPLASH2 port: shared scalars on
+	// thread 0, static block body distribution, fine-grained remote
+	// accesses everywhere, lock-based global tree insertion.
+	LevelBaseline Level = iota
+	// LevelScalars replicates write-once/write-rarely shared scalars
+	// (tol, eps, rsize) on every thread (§5.1).
+	LevelScalars
+	// LevelRedistribute redistributes bodies to their owning threads each
+	// time-step with an indexed memget into a double buffer (§5.2).
+	LevelRedistribute
+	// LevelCacheTree caches remote octree cells on demand in a private
+	// local tree during force computation (§5.3).
+	LevelCacheTree
+	// LevelMergedBuild builds per-thread local trees and merges them into
+	// the global octree, folding the center-of-mass computation into the
+	// merge (§5.4).
+	LevelMergedBuild
+	// LevelAsync adds non-blocking communication and message aggregation
+	// to the cached force computation (§5.5).
+	LevelAsync
+	// LevelSubspace replaces tree construction with the cost-based
+	// level-by-level subspace algorithm with vector reductions (§6).
+	LevelSubspace
+
+	NumLevels
+)
+
+var levelNames = [NumLevels]string{
+	"baseline", "scalars", "redistribute", "cache", "merged", "async", "subspace",
+}
+
+// String returns a short name for the level.
+func (l Level) String() string {
+	if l < 0 || l >= NumLevels {
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+	return levelNames[l]
+}
+
+// ParseLevel maps a short name back to a Level.
+func ParseLevel(s string) (Level, error) {
+	for i, n := range levelNames {
+		if n == s {
+			return Level(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown optimization level %q", s)
+}
+
+// Options configures one simulation run.
+type Options struct {
+	Bodies int
+	Steps  int // total time-steps to run
+	Warmup int // steps excluded from timing (the paper runs 4, measures the last 2)
+
+	Theta float64 // opening criterion (SPLASH2 default 1.0)
+	Eps   float64 // potential softening (SPLASH2 default 0.05)
+	Dt    float64 // time-step (SPLASH2 default 0.025)
+	Seed  uint64
+
+	Level           Level
+	AliasLocalCells bool // §5.3.2: avoid copying cells that are already local
+	VectorReduce    bool // §6: vector (true) vs per-subspace scalar (false) reductions
+	N1, N2, N3      int  // §5.5 async framework parameters (default 4,4,4)
+	SubspaceAlpha   float64
+	// Verify enables per-step structural verification of the global
+	// octree (body uniqueness, exact cost sums, additive masses). For
+	// tests: it adds an extra barrier per step.
+	Verify bool
+
+	// TransparentCache enables the §8-surveyed MuPC/Berkeley-style
+	// runtime software cache (barrier-invalidated, per-thread) for the
+	// read-only accesses of the naive force computation and for shared
+	// scalars. Only meaningful below LevelCacheTree; the ext-cache
+	// experiment compares it against the paper's manual caching.
+	TransparentCache bool
+
+	// testBufferCap overrides the §5.2 double-buffer capacity; tests use
+	// it to exercise the compaction path deterministically.
+	testBufferCap int
+
+	Machine *machine.Machine
+}
+
+// DefaultOptions returns the SPLASH2/paper defaults for n bodies on
+// `threads` emulated UPC threads, one per node, at the given level.
+func DefaultOptions(n, threads int, level Level) Options {
+	return Options{
+		Bodies: n,
+		Steps:  4,
+		Warmup: 2,
+		Theta:  1.0,
+		Eps:    0.05,
+		Dt:     0.025,
+		Seed:   123,
+		Level:  level,
+
+		VectorReduce:  true,
+		N1:            4,
+		N2:            4,
+		N3:            4,
+		SubspaceAlpha: 2.0 / 3.0,
+
+		Machine: machine.Default(threads),
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Bodies < 2 {
+		return fmt.Errorf("core: need at least 2 bodies, got %d", o.Bodies)
+	}
+	if o.Machine == nil {
+		return fmt.Errorf("core: Options.Machine is required")
+	}
+	if o.Steps <= o.Warmup {
+		return fmt.Errorf("core: Steps (%d) must exceed Warmup (%d)", o.Steps, o.Warmup)
+	}
+	if o.Level < 0 || o.Level >= NumLevels {
+		return fmt.Errorf("core: invalid level %d", int(o.Level))
+	}
+	if o.Theta <= 0 {
+		return fmt.Errorf("core: Theta must be positive")
+	}
+	if o.N1 <= 0 {
+		o.N1 = 4
+	}
+	if o.N2 <= 0 {
+		o.N2 = 4
+	}
+	if o.N3 <= 0 {
+		o.N3 = 4
+	}
+	if o.SubspaceAlpha <= 0 {
+		o.SubspaceAlpha = 2.0 / 3.0
+	}
+	return nil
+}
+
+// ThreadBreakdown reports one thread's timing detail.
+type ThreadBreakdown struct {
+	Phases PhaseTimes // summed over measured steps
+	// Split of PhaseTree at LevelMergedBuild+ (figure 8): local tree
+	// construction vs merging into the global tree.
+	TreeLocal, TreeMerge float64
+	// Interactions this thread computed during measured steps — the
+	// load that costzones / the subspace owner assignment balances.
+	Interactions uint64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Level   Level
+	Threads int
+
+	// Phases is the per-phase simulated time: max over threads within
+	// each measured step, summed over measured steps — the quantity the
+	// paper's tables report.
+	Phases PhaseTimes
+	// StepPhases is the same, per measured step.
+	StepPhases []PhaseTimes
+	// PerThread is each thread's own accumulated phase times.
+	PerThread []ThreadBreakdown
+
+	Stats upc.Stats
+	// PhaseComm breaks the operation counters down by phase (aggregated
+	// over threads, measured steps only) — the communication profile the
+	// paper's per-phase analysis reasons about.
+	PhaseComm        [NumPhases]upc.Stats
+	Interactions     uint64
+	MigratedFraction float64 // bodies migrated per step / bodies, averaged over measured steps
+	BufferCopies     int     // §5.2 double-buffer compactions
+	// CellsCopied / CellsAliased count local-tree cache fills that copied
+	// a cell vs aliased an already-local cell via a shadow pointer
+	// (§5.3.1 vs §5.3.2).
+	CellsCopied, CellsAliased uint64
+
+	// Bodies is the final state of all bodies in ID order, for physics
+	// validation and the examples.
+	Bodies []nbody.Body
+}
+
+// Total returns the total simulated time over the measured steps.
+func (r *Result) Total() float64 { return r.Phases.Total() }

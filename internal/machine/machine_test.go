@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Power5().Validate(); err != nil {
+		t.Fatalf("Power5 preset invalid: %v", err)
+	}
+	bad := Power5()
+	bad.Latency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero latency passed validation")
+	}
+	bad = Power5()
+	bad.InteractionCost = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative interaction cost passed validation")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, 1, false, Power5()); err == nil {
+		t.Error("zero threads accepted")
+	}
+	m, err := New(8, 0, false, Power5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ThreadsPerNode != 1 {
+		t.Errorf("threadsPerNode default = %d, want 1", m.ThreadsPerNode)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	m := MustNew(16, 4, true, Power5())
+	if m.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", m.NumNodes())
+	}
+	if m.Node(0) != 0 || m.Node(3) != 0 || m.Node(4) != 1 || m.Node(15) != 3 {
+		t.Error("node mapping wrong")
+	}
+	if m.Path(0, 0) != PathSelf {
+		t.Error("self path wrong")
+	}
+	if m.Path(0, 3) != PathSmem {
+		t.Error("same-node pthread path wrong")
+	}
+	if m.Path(0, 4) != PathNetwork {
+		t.Error("cross-node path wrong")
+	}
+	proc := MustNew(16, 4, false, Power5())
+	if proc.Path(0, 3) != PathLoopback {
+		t.Error("same-node process path wrong")
+	}
+}
+
+func TestMessageCostOrdering(t *testing.T) {
+	m := MustNew(16, 4, true, Power5())
+	self := m.Message(0, 0, 64)
+	smem := m.Message(0, 1, 64)
+	net := m.Message(0, 5, 64)
+	if !(self.Transit <= smem.Transit && smem.Transit < net.Transit) {
+		t.Errorf("transit ordering violated: self=%g smem=%g net=%g",
+			self.Transit, smem.Transit, net.Transit)
+	}
+	proc := MustNew(16, 4, false, Power5())
+	loop := proc.Message(0, 1, 64)
+	if loop.Transit <= net.Transit {
+		t.Errorf("loopback should exceed network on this model (paper anecdote): loop=%g net=%g",
+			loop.Transit, net.Transit)
+	}
+}
+
+// Property: message cost is monotone non-decreasing in size.
+func TestQuickMessageMonotone(t *testing.T) {
+	m := Default(8)
+	f := func(a, b uint16) bool {
+		small, big := int(a), int(b)
+		if small > big {
+			small, big = big, small
+		}
+		cs := m.Message(0, 3, small)
+		cb := m.Message(0, 3, big)
+		return cs.Transit <= cb.Transit && cs.TargetBusy <= cb.TargetBusy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPthreadComputeFactor(t *testing.T) {
+	proc := MustNew(4, 1, false, Power5())
+	thr := MustNew(4, 1, true, Power5())
+	if proc.Compute(1.0) != 1.0 {
+		t.Error("process-mode compute inflated")
+	}
+	if thr.Compute(1.0) != Power5().PthreadCPUFactor {
+		t.Error("pthread-mode compute not inflated")
+	}
+}
+
+func TestBarrierCostGrowsWithNodes(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		c := Default(n).BarrierCost()
+		if c < prev {
+			t.Errorf("barrier cost decreased at %d nodes: %g < %g", n, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCollectiveCostGrowsWithPayload(t *testing.T) {
+	m := Default(64)
+	if m.CollectiveCost(8) >= m.CollectiveCost(80000) {
+		t.Error("collective cost not increasing with payload")
+	}
+}

@@ -1,0 +1,82 @@
+// Package mpi emulates a two-sided message-passing interface over the
+// same simulated machine as the UPC runtime, for the paper's planned
+// UPC-vs-MPI comparison (§9). Ranks are upc.Threads; a message charges
+// the sender's overhead immediately and delivers a simulated arrival
+// time that the receiver's clock is aligned to — so an early receiver
+// waits (in simulated time) for a late sender, as real MPI does.
+//
+// Collective operations reuse the upc package's reductions and
+// exchanges (MPI_Allreduce and friends have the same cost structure as
+// UPC collectives on the modelled machine).
+package mpi
+
+import (
+	"fmt"
+
+	"upcbh/internal/upc"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	data     any
+	bytes    int
+	arriveAt float64
+}
+
+// Comm is a communicator over all threads of a runtime. Each (src, dst)
+// pair has an ordered channel, giving MPI's non-overtaking guarantee.
+type Comm struct {
+	rt   *upc.Runtime
+	mail [][]chan envelope // mail[dst][src]
+}
+
+// NewComm builds a communicator for rt's threads.
+func NewComm(rt *upc.Runtime) *Comm {
+	n := rt.Threads()
+	c := &Comm{rt: rt, mail: make([][]chan envelope, n)}
+	for dst := 0; dst < n; dst++ {
+		c.mail[dst] = make([]chan envelope, n)
+		for src := 0; src < n; src++ {
+			c.mail[dst][src] = make(chan envelope, 1024)
+		}
+	}
+	return c
+}
+
+// Send delivers data (treated as `bytes` on the wire) to rank `to`.
+// It never blocks the sender (eager/buffered semantics).
+func (c *Comm) Send(t *upc.Thread, to int, data any, bytes int) {
+	if to < 0 || to >= c.rt.Threads() {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", to))
+	}
+	arrive := t.SendEvent(to, bytes)
+	c.mail[to][t.ID()] <- envelope{data: data, bytes: bytes, arriveAt: arrive}
+}
+
+// Recv blocks until a message from rank `from` arrives, aligns the
+// receiver's simulated clock to the arrival, and returns the payload.
+// It aborts if a peer thread fails.
+func (c *Comm) Recv(t *upc.Thread, from int) (any, int) {
+	var env envelope
+	select {
+	case env = <-c.mail[t.ID()][from]:
+	default:
+		select {
+		case env = <-c.mail[t.ID()][from]:
+		case <-c.rt.Aborted():
+			panic("mpi: receive aborted: a peer rank failed")
+		}
+	}
+	t.AdvanceTo(env.arriveAt)
+	t.ChargeRaw(c.rt.Machine().Par.SendOverhead) // receive-side overhead
+	return env.data, env.bytes
+}
+
+// Sendrecv exchanges one message with a partner rank (deadlock-free).
+func (c *Comm) Sendrecv(t *upc.Thread, partner int, data any, bytes int) (any, int) {
+	c.Send(t, partner, data, bytes)
+	return c.Recv(t, partner)
+}
+
+// Barrier synchronizes all ranks (MPI_Barrier == upc_barrier here).
+func (c *Comm) Barrier(t *upc.Thread) { t.Barrier() }

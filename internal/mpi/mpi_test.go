@@ -1,0 +1,108 @@
+package mpi
+
+import (
+	"testing"
+
+	"upcbh/internal/machine"
+	"upcbh/internal/upc"
+)
+
+func TestSendRecvRing(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(4))
+	c := NewComm(rt)
+	rt.Run(func(th *upc.Thread) {
+		right := (th.ID() + 1) % th.P()
+		left := (th.ID() + th.P() - 1) % th.P()
+		c.Send(th, right, th.ID()*10, 8)
+		v, bytes := c.Recv(th, left)
+		if v.(int) != left*10 {
+			t.Errorf("rank %d received %v, want %d", th.ID(), v, left*10)
+		}
+		if bytes != 8 {
+			t.Errorf("bytes = %d", bytes)
+		}
+	})
+}
+
+func TestRecvAlignsClock(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(2))
+	c := NewComm(rt)
+	rt.Run(func(th *upc.Thread) {
+		if th.ID() == 0 {
+			th.ChargeRaw(1e-3) // late sender
+			c.Send(th, 1, "hi", 1024)
+			return
+		}
+		before := th.Now()
+		v, _ := c.Recv(th, 0)
+		if v.(string) != "hi" {
+			t.Errorf("payload %v", v)
+		}
+		// Receiver must wait (in simulated time) for the late sender.
+		if th.Now() < 1e-3 || th.Now() <= before {
+			t.Errorf("receiver clock %g did not align to sender send time", th.Now())
+		}
+	})
+}
+
+func TestNonOvertaking(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(2))
+	c := NewComm(rt)
+	rt.Run(func(th *upc.Thread) {
+		if th.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				c.Send(th, 1, i, 8)
+			}
+			return
+		}
+		for i := 0; i < 100; i++ {
+			v, _ := c.Recv(th, 0)
+			if v.(int) != i {
+				t.Fatalf("message %d overtook: got %v", i, v)
+			}
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(2))
+	c := NewComm(rt)
+	rt.Run(func(th *upc.Thread) {
+		partner := 1 - th.ID()
+		v, _ := c.Sendrecv(th, partner, th.ID()+100, 8)
+		if v.(int) != partner+100 {
+			t.Errorf("rank %d exchanged %v", th.ID(), v)
+		}
+	})
+}
+
+func TestRecvAbortsOnPeerFailure(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(2))
+	c := NewComm(rt)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic from aborted receive")
+		}
+	}()
+	rt.Run(func(th *upc.Thread) {
+		if th.ID() == 0 {
+			panic("sender died before sending")
+		}
+		c.Recv(th, 0) // would deadlock without the abort channel
+	})
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	rt := upc.NewRuntime(machine.Default(2))
+	c := NewComm(rt)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid rank accepted")
+		}
+	}()
+	rt.Run(func(th *upc.Thread) {
+		if th.ID() == 0 {
+			c.Send(th, 7, nil, 8)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package mpibh
+
+import (
+	"math"
+	"testing"
+
+	"upcbh/internal/nbody"
+	"upcbh/internal/vec"
+)
+
+func run(t *testing.T, n, ranks, steps int, theta float64) *Result {
+	t.Helper()
+	res, err := Run(Options{
+		Bodies: n, Ranks: ranks, Steps: steps, Warmup: 0,
+		Theta: theta, Eps: 0.05, Dt: 0.025, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestForcesVsDirect(t *testing.T) {
+	const n = 512
+	direct := nbody.Plummer(n, 21)
+	nbody.Direct(direct, 0.05)
+	res := run(t, n, 4, 1, 0.5)
+	var worst float64
+	for i := range res.Bodies {
+		e := res.Bodies[i].Acc.Sub(direct[i].Acc).Len() / (1 + direct[i].Acc.Len())
+		if e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.05 || math.IsNaN(worst) {
+		t.Errorf("worst acceleration error vs direct: %v", worst)
+	}
+}
+
+func TestRankCountInvariance(t *testing.T) {
+	// The LET approximation differs slightly from the sequential walk,
+	// but positions must stay very close across rank counts.
+	base := run(t, 600, 1, 3, 1.0)
+	for _, ranks := range []int{2, 5, 8} {
+		res := run(t, 600, ranks, 3, 1.0)
+		var worst float64
+		for i := range res.Bodies {
+			d := res.Bodies[i].Pos.Sub(base.Bodies[i].Pos).Len()
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-3 {
+			t.Errorf("%d ranks: positions diverge from 1 rank by %v", ranks, worst)
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	const n = 400
+	ic := nbody.Plummer(n, 21)
+	k0, p0 := nbody.Energy(ic, 0.05)
+	res := run(t, n, 4, 10, 1.0)
+	k1, p1 := nbody.Energy(res.Bodies, 0.05)
+	drift := math.Abs((k1 + p1 - k0 - p0) / (k0 + p0))
+	if drift > 0.03 {
+		t.Errorf("energy drift %.4f over 10 steps", drift)
+	}
+}
+
+func TestScalesWithRanks(t *testing.T) {
+	// More ranks must reduce total simulated time on a decent problem.
+	r1 := run(t, 8192, 1, 2, 1.0)
+	r8 := run(t, 8192, 8, 2, 1.0)
+	t.Logf("1 rank %.4fs, 8 ranks %.4fs (%.1fx)", r1.Total, r8.Total, r1.Total/r8.Total)
+	if r8.Total >= r1.Total {
+		t.Errorf("no speedup: 1 rank %.4f vs 8 ranks %.4f", r1.Total, r8.Total)
+	}
+}
+
+func TestBoxMinDist(t *testing.T) {
+	b := box{Lo: vec.V3{X: -1, Y: -1, Z: -1}, Hi: vec.V3{X: 1, Y: 1, Z: 1}}
+	if d := b.minDist2(vec.V3{}); d != 0 {
+		t.Errorf("inside point dist %v", d)
+	}
+	if d := b.minDist2(vec.V3{X: 3}); d != 4 {
+		t.Errorf("outside point dist %v, want 4", d)
+	}
+	if d := b.minDist2(vec.V3{X: 3, Y: 3}); d != 8 {
+		t.Errorf("corner dist %v, want 8", d)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := []Options{
+		{Bodies: 1, Ranks: 1, Steps: 1, Theta: 1},
+		{Bodies: 100, Ranks: 0, Steps: 1, Theta: 1},
+		{Bodies: 100, Ranks: 1, Steps: 1, Warmup: 1, Theta: 1},
+		{Bodies: 100, Ranks: 1, Steps: 1, Theta: 0},
+	}
+	for i, o := range bad {
+		if _, err := Run(o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}

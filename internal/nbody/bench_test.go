@@ -1,0 +1,35 @@
+package nbody
+
+import (
+	"testing"
+
+	"upcbh/internal/vec"
+)
+
+func BenchmarkInteract(b *testing.B) {
+	p := vec.V3{X: 1, Y: 2, Z: 3}
+	q := vec.V3{X: -2, Y: 0.5, Z: 1}
+	var acc vec.V3
+	var phi float64
+	for i := 0; i < b.N; i++ {
+		da, dp := Interact(p, q, 0.5, 0.0025)
+		acc = acc.Add(da)
+		phi += dp
+	}
+	_ = acc
+	_ = phi
+}
+
+func BenchmarkPlummer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Plummer(4096, uint64(i))
+	}
+}
+
+func BenchmarkDirect1K(b *testing.B) {
+	bodies := Plummer(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Direct(bodies, 0.05)
+	}
+}

@@ -1,0 +1,103 @@
+// Package nbody provides the physics substrate of the Barnes-Hut
+// reproduction: the body type, the Plummer-model initial-condition
+// generator used by SPLASH2, the softened gravity kernel, leapfrog
+// integration, the O(n^2) direct-summation reference and energy
+// diagnostics.
+package nbody
+
+import (
+	"math"
+
+	"upcbh/internal/vec"
+)
+
+// Body is one simulated particle. Cost is the load-balancing weight
+// (number of interactions computed for this body in the previous
+// time-step), as used by the SPLASH2 costzones partitioner and by the
+// paper's subspace tree builder.
+//
+// The field order is load-bearing: the PGAS emulation's fine-grained
+// remote reads copy a byte *prefix* of the struct (exactly the bytes
+// the message is charged for), so the fields other threads read while
+// the owner updates force results must come first:
+//
+//	[0,24)   Pos   — read during tree build and force computation
+//	[24,32)  Mass  — read during force computation
+//	[32,40)  Cost  — read during c-of-m / partitioning (never while written)
+//	[40,48)  ID
+//	[48,..)  Vel, Acc, Phi — owner-private within a phase
+type Body struct {
+	Pos  vec.V3
+	Mass float64
+	Cost float64
+	ID   int32
+	_    int32 // padding; keeps Vel 8-byte aligned explicitly
+	Vel  vec.V3
+	Acc  vec.V3
+	Phi  float64 // gravitational potential at the body (diagnostic)
+}
+
+// Interact accumulates the softened gravitational pull of a point mass
+// (at `at`, with mass m) on a body at pos, returning the acceleration
+// increment and potential increment. This single kernel is shared by the
+// direct solver, the sequential octree, and every distributed variant so
+// that all of them agree bit-for-bit per interaction.
+func Interact(pos, at vec.V3, m, epsSq float64) (dacc vec.V3, dphi float64) {
+	dr := at.Sub(pos)
+	r2 := dr.Len2() + epsSq
+	r := math.Sqrt(r2)
+	inv := 1 / r
+	dphi = -m * inv
+	s := m * inv * inv * inv
+	return dr.Scale(s), dphi
+}
+
+// AdvanceHalfKick applies the opening half-kick of leapfrog integration.
+func AdvanceHalfKick(b *Body, dt float64) {
+	b.Vel = b.Vel.AddScaled(b.Acc, dt/2)
+}
+
+// AdvanceKickDrift applies one full leapfrog step given freshly computed
+// accelerations: kick the velocity by dt then drift the position by dt,
+// matching the SPLASH2 advancebody sequence.
+func AdvanceKickDrift(b *Body, dt float64) {
+	b.Vel = b.Vel.AddScaled(b.Acc, dt)
+	b.Pos = b.Pos.AddScaled(b.Vel, dt)
+}
+
+// BoundingBox returns the component-wise min and max position over
+// bodies. It panics on an empty slice.
+func BoundingBox(bodies []Body) (lo, hi vec.V3) {
+	if len(bodies) == 0 {
+		panic("nbody: bounding box of no bodies")
+	}
+	lo, hi = bodies[0].Pos, bodies[0].Pos
+	for i := 1; i < len(bodies); i++ {
+		lo = lo.Min(bodies[i].Pos)
+		hi = hi.Max(bodies[i].Pos)
+	}
+	return lo, hi
+}
+
+// RootCell converts a bounding box into the side length and center of the
+// Barnes-Hut root cell: the smallest power-of-two-friendly cube
+// containing all bodies, expanded exactly as SPLASH2's setbound does
+// (side doubled until it covers the box).
+func RootCell(lo, hi vec.V3) (center vec.V3, half float64) {
+	center = lo.Add(hi).Scale(0.5)
+	side := hi.Sub(lo).MaxComponent()
+	rsize := 1.0
+	for rsize < side*1.00002 {
+		rsize *= 2
+	}
+	return center, rsize / 2
+}
+
+// TotalMass sums the masses.
+func TotalMass(bodies []Body) float64 {
+	var m float64
+	for i := range bodies {
+		m += bodies[i].Mass
+	}
+	return m
+}

@@ -1,0 +1,54 @@
+package nbody
+
+import "upcbh/internal/vec"
+
+// Direct computes accelerations and potentials by O(n^2) direct
+// summation with softening eps. It is the correctness reference against
+// which every Barnes-Hut variant is validated.
+func Direct(bodies []Body, eps float64) {
+	epsSq := eps * eps
+	for i := range bodies {
+		var acc vec.V3
+		var phi float64
+		for j := range bodies {
+			if i == j {
+				continue
+			}
+			da, dp := Interact(bodies[i].Pos, bodies[j].Pos, bodies[j].Mass, epsSq)
+			acc = acc.Add(da)
+			phi += dp
+		}
+		bodies[i].Acc = acc
+		bodies[i].Phi = phi
+	}
+}
+
+// Energy returns the kinetic and potential energy of the system by
+// direct summation (O(n^2)); intended for diagnostics at modest n.
+func Energy(bodies []Body, eps float64) (kinetic, potential float64) {
+	epsSq := eps * eps
+	for i := range bodies {
+		kinetic += 0.5 * bodies[i].Mass * bodies[i].Vel.Len2()
+		for j := i + 1; j < len(bodies); j++ {
+			_, dp := Interact(bodies[i].Pos, bodies[j].Pos, bodies[j].Mass, epsSq)
+			potential += bodies[i].Mass * dp
+		}
+	}
+	return kinetic, potential
+}
+
+// MaxAccError returns the maximum relative acceleration error of bodies
+// versus a reference copy with identical ordering.
+func MaxAccError(bodies, ref []Body) float64 {
+	var worst float64
+	for i := range bodies {
+		denom := ref[i].Acc.Len()
+		if denom == 0 {
+			continue
+		}
+		if e := bodies[i].Acc.Sub(ref[i].Acc).Len() / denom; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,106 @@
+package nbody
+
+import (
+	"math"
+
+	"upcbh/internal/rng"
+	"upcbh/internal/vec"
+)
+
+// Plummer generates n bodies drawn from the Plummer model with the
+// standard N-body units M = -4E = G = 1 (Aarseth, Henon & Wielen 1974),
+// exactly the initial-condition recipe SPLASH2's testdata uses: positions
+// from the inverted cumulative mass profile, velocities by von
+// Neumann rejection from the isotropic distribution function, pairs of
+// bodies mirrored about the origin for symmetry, and the whole system
+// shifted to its center of mass.
+func Plummer(n int, seed uint64) []Body {
+	r := rng.New(seed)
+	bodies := make([]Body, n)
+	const rsc = 3 * math.Pi / 16 // scales the structural radius to N-body units
+	vsc := math.Sqrt(1 / rsc)
+	mass := 1.0 / float64(n)
+
+	for i := 0; i < n; i += 2 {
+		// Radius from the inverse cumulative mass distribution, with the
+		// SPLASH2 cutoff at 0.999 of the mass to avoid huge outliers.
+		var radius float64
+		for {
+			m := r.Range(0, 0.999)
+			radius = 1 / math.Sqrt(math.Pow(m, -2.0/3.0)-1)
+			if radius < 9 {
+				break
+			}
+		}
+		x, y, z := r.UnitSphere()
+		pos := vec.V3{X: x, Y: y, Z: z}.Scale(rsc * radius)
+
+		// Speed by rejection: q^2 (1-q^2)^3.5 on q in [0,1).
+		var q float64
+		for {
+			q = r.Float64()
+			g := r.Range(0, 0.1)
+			if g < q*q*math.Pow(1-q*q, 3.5) {
+				break
+			}
+		}
+		speed := q * math.Sqrt2 * math.Pow(1+radius*radius, -0.25)
+		vx, vy, vz := r.UnitSphere()
+		vel := vec.V3{X: vx, Y: vy, Z: vz}.Scale(vsc * speed)
+
+		bodies[i] = Body{Pos: pos, Vel: vel, Mass: mass, Cost: 1, ID: int32(i)}
+		if i+1 < n {
+			// Mirror the second body of the pair, as SPLASH2 does.
+			bodies[i+1] = Body{Pos: pos.Scale(-1), Vel: vel.Scale(-1), Mass: mass, Cost: 1, ID: int32(i + 1)}
+		}
+	}
+
+	centerOfMass(bodies)
+	return bodies
+}
+
+// TwoPlummer generates a pair of n/2-body Plummer spheres: cluster A at
+// +offset/2 and cluster B at -offset/2, with closing relative velocity
+// `vrel` (A moves at -vrel/2, B at +vrel/2, so a positive vrel along
+// +offset makes the clusters approach) — a standard galaxy collision
+// setup used by the examples.
+func TwoPlummer(n int, seed uint64, offset vec.V3, vrel vec.V3) []Body {
+	half := n / 2
+	a := Plummer(half, seed)
+	b := Plummer(n-half, seed^0x517cc1b727220a95)
+	out := make([]Body, 0, n)
+	for i := range a {
+		a[i].Pos = a[i].Pos.Add(offset.Scale(0.5))
+		a[i].Vel = a[i].Vel.Sub(vrel.Scale(0.5))
+		a[i].Mass /= 2
+		a[i].ID = int32(len(out))
+		out = append(out, a[i])
+	}
+	for i := range b {
+		b[i].Pos = b[i].Pos.Sub(offset.Scale(0.5))
+		b[i].Vel = b[i].Vel.Add(vrel.Scale(0.5))
+		b[i].Mass /= 2
+		b[i].ID = int32(len(out))
+		out = append(out, b[i])
+	}
+	centerOfMass(out)
+	return out
+}
+
+// centerOfMass shifts positions and velocities to the center-of-mass
+// frame.
+func centerOfMass(bodies []Body) {
+	var cpos, cvel vec.V3
+	var mtot float64
+	for i := range bodies {
+		cpos = cpos.AddScaled(bodies[i].Pos, bodies[i].Mass)
+		cvel = cvel.AddScaled(bodies[i].Vel, bodies[i].Mass)
+		mtot += bodies[i].Mass
+	}
+	cpos = cpos.Scale(1 / mtot)
+	cvel = cvel.Scale(1 / mtot)
+	for i := range bodies {
+		bodies[i].Pos = bodies[i].Pos.Sub(cpos)
+		bodies[i].Vel = bodies[i].Vel.Sub(cvel)
+	}
+}

@@ -1,0 +1,54 @@
+package octree
+
+import (
+	"testing"
+
+	"upcbh/internal/nbody"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	lo, hi := nbody.BoundingBox(bodies)
+	center, half := nbody.RootCell(lo, hi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := New(center, half)
+		for j := range bodies {
+			t.Insert(&bodies[j])
+		}
+	}
+	b.ReportMetric(float64(len(bodies)), "bodies/op")
+}
+
+func BenchmarkComputeCofM(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	t := Build(bodies)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ComputeCofM()
+	}
+}
+
+func BenchmarkForceOn(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	t := Build(bodies)
+	b.ResetTimer()
+	var inter int
+	for i := 0; i < b.N; i++ {
+		_, _, k := t.ForceOn(&bodies[i%len(bodies)], 1.0, 0.05)
+		inter = k
+	}
+	b.ReportMetric(float64(inter), "interactions/body")
+}
+
+func BenchmarkMorton(b *testing.B) {
+	bodies := nbody.Plummer(4096, 1)
+	lo, hi := nbody.BoundingBox(bodies)
+	center, half := nbody.RootCell(lo, hi)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Morton(bodies[i%len(bodies)].Pos, center, half)
+	}
+	_ = sink
+}

@@ -1,0 +1,99 @@
+package upc
+
+import (
+	"testing"
+
+	"upcbh/internal/machine"
+)
+
+// Real (wall-clock) cost of the emulation primitives themselves — the
+// overhead the harness pays per modelled operation.
+
+func BenchmarkLocalGet(b *testing.B) {
+	rt := NewRuntime(machine.Default(1))
+	h := NewHeap[[8]float64](rt, 4096)
+	rt.Run(func(t *Thread) {
+		r := h.Alloc(t, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = h.Get(t, r)
+		}
+	})
+}
+
+func BenchmarkRemoteGet(b *testing.B) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[[8]float64](rt, 4096)
+	rt.Run(func(t *Thread) {
+		h.Alloc(t, 1)
+		t.Barrier()
+		if t.ID() != 0 {
+			return
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = h.Get(t, Ref{Thr: 1, Idx: 0})
+		}
+	})
+}
+
+func BenchmarkGather64(b *testing.B) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[[8]float64](rt, 4096)
+	rt.Run(func(t *Thread) {
+		h.Alloc(t, 64)
+		t.Barrier()
+		if t.ID() != 0 {
+			return
+		}
+		refs := make([]Ref, 64)
+		for i := range refs {
+			refs[i] = Ref{Thr: 1, Idx: int32(i)}
+		}
+		dst := make([][8]float64, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Gather(t, refs, dst)
+		}
+	})
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	rt := NewRuntime(machine.Default(8))
+	b.ResetTimer()
+	rt.Run(func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Barrier()
+		}
+	})
+}
+
+func BenchmarkAllReduceVec8(b *testing.B) {
+	rt := NewRuntime(machine.Default(8))
+	v := make([]float64, 64)
+	b.ResetTimer()
+	rt.Run(func(t *Thread) {
+		for i := 0; i < b.N; i++ {
+			_ = AllReduceVecF64(t, v, OpSum)
+		}
+	})
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[[8]float64](rt, 4096)
+	rt.Run(func(t *Thread) {
+		h.Alloc(t, 1)
+		t.Barrier()
+		if t.ID() != 0 {
+			return
+		}
+		c := NewCache(t, h, 256)
+		r := Ref{Thr: 1, Idx: 0}
+		_ = c.Get(r)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.Get(r)
+		}
+	})
+}

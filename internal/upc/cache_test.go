@@ -1,0 +1,143 @@
+package upc
+
+import (
+	"testing"
+
+	"upcbh/internal/machine"
+)
+
+func TestCacheHitsAndCosts(t *testing.T) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[[16]float64](rt, 1024)
+	rt.Run(func(th *Thread) {
+		r := h.Alloc(th, 8)
+		v := h.Local(th, r)
+		v[0] = float64(th.ID() + 7)
+		th.Barrier()
+		if th.ID() != 0 {
+			return
+		}
+		c := NewCache(th, h, 256)
+		remote := Ref{Thr: 1, Idx: 0}
+
+		before := th.Now()
+		got := c.Get(remote)
+		missCost := th.Now() - before
+		if got[0] != 8 {
+			t.Errorf("cached value %v", got[0])
+		}
+		before = th.Now()
+		got = c.Get(remote)
+		hitCost := th.Now() - before
+		if got[0] != 8 {
+			t.Errorf("hit value %v", got[0])
+		}
+		if hitCost*100 > missCost {
+			t.Errorf("hit (%g) should be >>100x cheaper than miss (%g)", hitCost, missCost)
+		}
+		st := c.Stats()
+		if st.Hits != 1 || st.Misses != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		if c.HitRate() != 0.5 {
+			t.Errorf("hit rate %v", c.HitRate())
+		}
+	})
+}
+
+func TestCacheBarrierInvalidation(t *testing.T) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[int](rt, 1024)
+	rt.Run(func(th *Thread) {
+		r := h.Alloc(th, 1)
+		*h.Local(th, r) = 1
+		th.Barrier()
+		if th.ID() == 0 {
+			c := NewCache(th, h, 64)
+			if got := c.Get(Ref{Thr: 1, Idx: 0}); got != 1 {
+				t.Errorf("initial value %d", got)
+			}
+			th.Barrier() // writer updates after this barrier...
+			th.Barrier() // ...and before this one
+			// A correct barrier-invalidated cache must re-fetch now.
+			if got := c.Get(Ref{Thr: 1, Idx: 0}); got != 2 {
+				t.Errorf("post-barrier value %d, want fresh 2", got)
+			}
+			st := c.Stats()
+			if st.Misses != 2 || st.Invalidations != 1 {
+				t.Errorf("stats = %+v", st)
+			}
+			return
+		}
+		th.Barrier()
+		*h.Local(th, Ref{Thr: 1, Idx: 0}) = 2
+		th.Barrier() // publish before the reader's second access
+	})
+}
+
+func TestCacheLocalBypass(t *testing.T) {
+	rt := NewRuntime(machine.Default(1))
+	h := NewHeap[int](rt, 1024)
+	rt.Run(func(th *Thread) {
+		r := h.Alloc(th, 1)
+		*h.Local(th, r) = 5
+		c := NewCache(th, h, 64)
+		if got := c.Get(r); got != 5 {
+			t.Errorf("local read %d", got)
+		}
+		if st := c.Stats(); st.Hits+st.Misses != 0 {
+			t.Errorf("local access went through the cache: %+v", st)
+		}
+	})
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[int](rt, 1024)
+	rt.Run(func(th *Thread) {
+		h.Alloc(th, 1)
+		th.Barrier()
+		if th.ID() == 0 {
+			c := NewCache(th, h, 64)
+			c.Put(Ref{Thr: 1, Idx: 0}, 42)
+			if got := c.Get(Ref{Thr: 1, Idx: 0}); got != 42 {
+				t.Errorf("read-after-write through cache: %d", got)
+			}
+		}
+		th.Barrier()
+		if th.ID() == 1 {
+			if got := *h.Local(th, Ref{Thr: 1, Idx: 0}); got != 42 {
+				t.Errorf("write-through did not reach home: %d", got)
+			}
+		}
+	})
+}
+
+func TestCacheConflictEviction(t *testing.T) {
+	rt := NewRuntime(machine.Default(2))
+	h := NewHeap[int](rt, 8192)
+	rt.Run(func(th *Thread) {
+		r := h.Alloc(th, 4096)
+		for i := 0; i < 4096; i++ {
+			*h.Local(th, Ref{Thr: int32(th.ID()), Idx: r.Idx + int32(i)}) = i
+		}
+		th.Barrier()
+		if th.ID() != 0 {
+			return
+		}
+		// 64-line cache scanned over 4096 remote elements twice: the
+		// second pass cannot be all hits (direct-mapped conflicts).
+		c := NewCache(th, h, 64)
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 4096; i++ {
+				if got := c.Get(Ref{Thr: 1, Idx: int32(i)}); got != i {
+					t.Fatalf("element %d = %d", i, got)
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Misses < 4096 {
+			t.Errorf("conflict misses not happening: %+v", st)
+		}
+	})
+}

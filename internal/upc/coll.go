@@ -1,0 +1,202 @@
+package upc
+
+import "sync"
+
+// collSite is the rendezvous used by all collectives. SPMD discipline
+// guarantees all threads call the same collective in the same order, so a
+// single generation-counted site per runtime suffices.
+type collSite struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+
+	gen      uint64
+	count    int
+	slots    []any
+	maxClock float64
+
+	resolvedClock float64
+	result        any
+}
+
+func newCollSite(n int) *collSite {
+	c := &collSite{n: n, slots: make([]any, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// exchange deposits `v` for thread t, waits for all threads, and returns
+// combine(slots) along with the aligned clock max(arrivals)+cost. combine
+// runs exactly once per generation, on the last arriver.
+func (c *collSite) exchange(t *Thread, v any, cost float64, combine func(slots []any) any) (any, float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.rt.checkPoison()
+	c.slots[t.id] = v
+	if t.clock > c.maxClock {
+		c.maxClock = t.clock
+	}
+	c.count++
+	if c.count == c.n {
+		c.result = combine(c.slots)
+		c.resolvedClock = c.maxClock + cost
+		c.count = 0
+		c.maxClock = 0
+		for i := range c.slots {
+			c.slots[i] = nil
+		}
+		c.gen++
+		c.cond.Broadcast()
+		return c.result, c.resolvedClock
+	}
+	gen := c.gen
+	for gen == c.gen {
+		c.cond.Wait()
+		t.rt.checkPoison()
+	}
+	return c.result, c.resolvedClock
+}
+
+// Op selects the combining operator of a reduction.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (op Op) apply(a, b float64) float64 {
+	switch op {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// AllReduceF64 is a scalar reduce&broadcast over all threads.
+func AllReduceF64(t *Thread, v float64, op Op) float64 {
+	t.stats.Collectives++
+	cost := t.rt.mach.CollectiveCost(8)
+	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+		acc := slots[0].(float64)
+		for _, s := range slots[1:] {
+			acc = op.apply(acc, s.(float64))
+		}
+		return acc
+	})
+	t.advanceTo(clock)
+	return res.(float64)
+}
+
+// AllReduceVecF64 is the vector reduce&broadcast the paper identifies as
+// critical for the subspace tree-building algorithm (§6): one collective
+// combines a whole level's worth of costs. The input slice is not
+// modified; all threads receive the same freshly allocated result.
+func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
+	t.stats.Collectives++
+	cost := t.rt.mach.CollectiveCost(8 * len(v))
+	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+		first := slots[0].([]float64)
+		acc := make([]float64, len(first))
+		copy(acc, first)
+		for _, s := range slots[1:] {
+			sv := s.([]float64)
+			if len(sv) != len(acc) {
+				panic("upc: AllReduceVecF64 with mismatched lengths")
+			}
+			for i, x := range sv {
+				acc[i] = op.apply(acc[i], x)
+			}
+		}
+		return acc
+	})
+	t.advanceTo(clock)
+	return res.([]float64)
+}
+
+// Broadcast distributes root's value to all threads.
+func Broadcast[T any](t *Thread, root int, v T) T {
+	t.stats.Collectives++
+	var zero T
+	cost := t.rt.mach.CollectiveCost(8) // payloads here are scalar-sized
+	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+		return slots[root]
+	})
+	t.advanceTo(clock)
+	if res == nil {
+		return zero
+	}
+	return res.(T)
+}
+
+// AllGather collects one value from every thread; the result is indexed
+// by thread id and shared (read-only) by all threads.
+func AllGather[T any](t *Thread, v T) []T {
+	t.stats.Collectives++
+	cost := t.rt.mach.CollectiveCost(8 * t.rt.n)
+	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+		out := make([]T, len(slots))
+		for i, s := range slots {
+			out[i] = s.(T)
+		}
+		return out
+	})
+	t.advanceTo(clock)
+	return res.([]T)
+}
+
+// AllToAll performs a personalized exchange: send[j] is delivered to
+// thread j; the result's element j is what thread j sent to the caller.
+// Received slices alias the sender's buffers; callers must treat them as
+// read-only until the next collective, mirroring one-sided semantics.
+//
+// Simulated cost: a synchronization to the slowest participant plus each
+// thread's own volume term (per-message overhead for its sends, transit
+// for its receives).
+func AllToAll[T any](t *Thread, send [][]T) [][]T {
+	if len(send) != t.rt.n {
+		panic("upc: AllToAll send matrix must have THREADS rows")
+	}
+	t.stats.Collectives++
+	res, clock := t.rt.coll.exchange(t, send, 0, func(slots []any) any {
+		out := make([][][]T, len(slots))
+		for i, s := range slots {
+			out[i] = s.([][]T)
+		}
+		return out
+	})
+	t.advanceTo(clock)
+	matrix := res.([][][]T)
+	var zero T
+	elem := intSizeof(zero)
+	m := t.rt.mach
+	recv := make([][]T, t.rt.n)
+	sentBytes, recvBytes, nmsg := 0, 0, 0
+	for j := 0; j < t.rt.n; j++ {
+		recv[j] = matrix[j][t.id]
+		if j != t.id {
+			if len(send[j]) > 0 {
+				sentBytes += len(send[j]) * elem
+				nmsg++
+			}
+			recvBytes += len(recv[j]) * elem
+		}
+	}
+	t.ChargeRaw(float64(nmsg)*m.Par.SendOverhead +
+		float64(sentBytes+recvBytes)*m.Par.GapPerByte +
+		2*m.Par.Latency)
+	t.stats.Msgs += uint64(nmsg)
+	t.stats.Bytes += uint64(sentBytes)
+	return recv
+}

@@ -1,0 +1,354 @@
+package upc
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Ref is a global reference into a Heap: the UPC "pointer-to-shared". The
+// zero value is NOT nil; use NilRef / IsNil.
+type Ref struct {
+	Thr int32 // affinity: which thread's shard holds the element
+	Idx int32 // element index within that shard
+}
+
+// NilRef is the null pointer-to-shared.
+var NilRef = Ref{Thr: -1, Idx: -1}
+
+// IsNil reports whether r is the null reference.
+func (r Ref) IsNil() bool { return r.Thr < 0 }
+
+// String implements fmt.Stringer for diagnostics.
+func (r Ref) String() string {
+	if r.IsNil() {
+		return "ref(nil)"
+	}
+	return fmt.Sprintf("ref(%d:%d)", r.Thr, r.Idx)
+}
+
+const maxChunks = 1 << 14
+
+// Heap is a distributed array of T: each thread owns a shard in its local
+// shared memory, grown by Alloc. Elements are addressed by Ref and
+// accessed through cost-charged operations. The backing storage is
+// chunked so raw pointers obtained via Local remain valid across later
+// allocations.
+type Heap[T any] struct {
+	rt        *Runtime
+	elemSize  int
+	chunkSize int32
+	shift     uint
+	shards    []heapShard[T]
+}
+
+type heapShard[T any] struct {
+	table []atomic.Pointer[[]T] // chunk table; entries published atomically
+	n     int32                 // allocated elements; written only by the owner
+	_     [6]uint64             // keep owners off each other's cache lines
+}
+
+// NewHeap creates a heap over rt whose shards grow in chunks of
+// chunkSize elements (rounded up to a power of two, min 1024).
+func NewHeap[T any](rt *Runtime, chunkSize int) *Heap[T] {
+	cs := int32(1024)
+	var shift uint = 10
+	for int(cs) < chunkSize {
+		cs <<= 1
+		shift++
+	}
+	var zero T
+	h := &Heap[T]{
+		rt:        rt,
+		elemSize:  int(unsafe.Sizeof(zero)),
+		chunkSize: cs,
+		shift:     shift,
+		shards:    make([]heapShard[T], rt.Threads()),
+	}
+	for i := range h.shards {
+		h.shards[i].table = make([]atomic.Pointer[[]T], maxChunks)
+	}
+	return h
+}
+
+// ElemSize returns the modelled size in bytes of one element.
+func (h *Heap[T]) ElemSize() int { return h.elemSize }
+
+// Len returns the number of elements allocated in thread thr's shard.
+// Only meaningful at phase boundaries (the owner may be allocating).
+func (h *Heap[T]) Len(thr int) int { return int(h.shards[thr].n) }
+
+// Alloc reserves count contiguous elements in t's own shard (upc_alloc
+// allocates in the caller's local shared space) and returns the Ref of
+// the first. The simulated cost is the allocator overhead only.
+func (h *Heap[T]) Alloc(t *Thread, count int) Ref {
+	if count <= 0 {
+		panic("upc: Alloc with non-positive count")
+	}
+	sh := &h.shards[t.id]
+	start := sh.n
+	mask := h.chunkSize - 1
+	if off := start & mask; off != 0 && off+int32(count) > h.chunkSize {
+		start = start - off + h.chunkSize // skip to a chunk boundary
+	}
+	first := int(start >> h.shift)
+	last := int((start + int32(count) - 1) >> h.shift)
+	if last >= maxChunks {
+		panic("upc: heap shard exhausted")
+	}
+	if sh.table[last].Load() == nil {
+		// Allocate all missing chunks in one backing array so large
+		// allocations are physically contiguous too.
+		firstMissing := first
+		for firstMissing <= last && sh.table[firstMissing].Load() != nil {
+			firstMissing++
+		}
+		nchunks := last - firstMissing + 1
+		backing := make([]T, nchunks*int(h.chunkSize))
+		for k := 0; k < nchunks; k++ {
+			c := backing[k*int(h.chunkSize) : (k+1)*int(h.chunkSize)]
+			sh.table[firstMissing+k].Store(&c)
+		}
+	}
+	sh.n = start + int32(count)
+	return Ref{Thr: int32(t.id), Idx: start}
+}
+
+// Reset discards all elements of t's own shard (retaining memory). Any
+// outstanding Refs into the shard become logically dangling; callers must
+// only Reset at phase boundaries, as the Barnes-Hut code does when it
+// rebuilds the tree each time-step.
+func (h *Heap[T]) Reset(t *Thread) { h.shards[t.id].n = 0 }
+
+// ptr returns the raw address of the element; no cost, no checks.
+func (h *Heap[T]) ptr(thr, idx int32) *T {
+	c := h.shards[thr].table[idx>>h.shift].Load()
+	return &(*c)[idx&(h.chunkSize-1)]
+}
+
+// Local returns a raw pointer to an element with affinity to t: the
+// "cast pointer-to-shared to local pointer" optimization. It panics if
+// the reference is remote — exactly the bug that cast would be in UPC.
+// No simulated cost is charged (plain C pointer access).
+func (h *Heap[T]) Local(t *Thread, r Ref) *T {
+	if int(r.Thr) != t.id {
+		panic(fmt.Sprintf("upc: Local cast of remote reference %v on thread %d", r, t.id))
+	}
+	return h.ptr(r.Thr, r.Idx)
+}
+
+// IsLocal reports whether r has affinity to t (upc_threadof == MYTHREAD).
+func (h *Heap[T]) IsLocal(t *Thread, r Ref) bool { return int(r.Thr) == t.id }
+
+// Get dereferences a pointer-to-shared, returning a copy of the whole
+// element. Local affinity costs the shared-pointer overhead; remote
+// affinity costs a blocking round trip carrying the element.
+func (h *Heap[T]) Get(t *Thread, r Ref) T {
+	h.chargeGet(t, r, h.elemSize)
+	return *h.ptr(r.Thr, r.Idx)
+}
+
+// GetBytes models a fine-grained access that reads only the leading
+// `bytes` of the element (e.g. the hot fields of a struct in the
+// SPLASH2-style code). Exactly that byte prefix is copied — you get the
+// bytes you pay for — which also keeps concurrent prefix reads disjoint
+// from the owner's writes to trailing fields (the UPC one-sided-get
+// pattern, expressed race-free).
+func (h *Heap[T]) GetBytes(t *Thread, r Ref, bytes int) T {
+	h.chargeGet(t, r, bytes)
+	var out T
+	copyPrefix(&out, h.ptr(r.Thr, r.Idx), bytes, h.elemSize)
+	return out
+}
+
+// copyPrefix copies min(n, size) leading bytes of src into dst.
+func copyPrefix[T any](dst, src *T, n, size int) {
+	if n >= size {
+		*dst = *src
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	db := unsafe.Slice((*byte)(unsafe.Pointer(dst)), size)
+	sb := unsafe.Slice((*byte)(unsafe.Pointer(src)), size)
+	copy(db[:n], sb[:n])
+}
+
+func (h *Heap[T]) chargeGet(t *Thread, r Ref, bytes int) {
+	if r.IsNil() {
+		panic("upc: dereference of nil pointer-to-shared")
+	}
+	if int(r.Thr) == t.id {
+		t.stats.LocalDerefs++
+		t.ChargeRaw(t.rt.mach.Par.GPtrDerefCost)
+		return
+	}
+	t.stats.RemoteGets++
+	t.remoteRoundTrip(int(r.Thr), bytes)
+}
+
+// Put stores a whole element through a pointer-to-shared.
+func (h *Heap[T]) Put(t *Thread, r Ref, v T) {
+	h.chargePut(t, r, h.elemSize)
+	*h.ptr(r.Thr, r.Idx) = v
+}
+
+// PutBytes models a fine-grained partial store: mut is applied to the
+// element in place and only `bytes` are charged on the wire. The caller
+// must hold whatever application-level lock protects the element, as the
+// UPC code does.
+func (h *Heap[T]) PutBytes(t *Thread, r Ref, bytes int, mut func(*T)) {
+	h.chargePut(t, r, bytes)
+	mut(h.ptr(r.Thr, r.Idx))
+}
+
+func (h *Heap[T]) chargePut(t *Thread, r Ref, bytes int) {
+	if r.IsNil() {
+		panic("upc: store through nil pointer-to-shared")
+	}
+	if int(r.Thr) == t.id {
+		t.stats.LocalDerefs++
+		t.ChargeRaw(t.rt.mach.Par.GPtrDerefCost)
+		return
+	}
+	t.stats.RemotePuts++
+	t.remoteRoundTrip(int(r.Thr), bytes)
+}
+
+// LocalSlice returns the backing storage of n elements starting at r as
+// a plain slice. The range must be local to t and lie within a single
+// allocation chunk (one upc_alloc'd buffer); size the heap's chunkSize
+// accordingly. No simulated cost is charged (local cast).
+func (h *Heap[T]) LocalSlice(t *Thread, r Ref, n int) []T {
+	if int(r.Thr) != t.id {
+		panic(fmt.Sprintf("upc: LocalSlice of remote reference %v on thread %d", r, t.id))
+	}
+	if n == 0 {
+		return nil
+	}
+	first := r.Idx >> h.shift
+	last := (r.Idx + int32(n) - 1) >> h.shift
+	if first != last {
+		panic("upc: LocalSlice range spans chunks; allocate a larger chunkSize")
+	}
+	c := h.shards[r.Thr].table[first].Load()
+	off := r.Idx & (h.chunkSize - 1)
+	return (*c)[off : off+int32(n)]
+}
+
+// Raw returns the element's address regardless of affinity, charging
+// nothing. It exists for flag protocols that need atomics (spin-waiting
+// on a cell's Done flag) and for emulation internals; callers are
+// responsible for charging the corresponding simulated cost via Touch.
+func (h *Heap[T]) Raw(r Ref) *T {
+	if r.IsNil() {
+		panic("upc: Raw of nil pointer-to-shared")
+	}
+	return h.ptr(r.Thr, r.Idx)
+}
+
+// Touch charges the cost of a fine-grained read of `bytes` from the
+// element without copying it (companion to Raw).
+func (h *Heap[T]) Touch(t *Thread, r Ref, bytes int) { h.chargeGet(t, r, bytes) }
+
+// TouchPut charges the cost of a fine-grained write of `bytes` to the
+// element without performing it (companion to Raw).
+func (h *Heap[T]) TouchPut(t *Thread, r Ref, bytes int) { h.chargePut(t, r, bytes) }
+
+// Gather is upc_memget_ilist: a blocking indexed gather of refs[i] into
+// dst[i]. Elements with the same source thread travel in one aggregated
+// message. dst must be at least as long as refs.
+func (h *Heap[T]) Gather(t *Thread, refs []Ref, dst []T) {
+	hd := h.GatherAsync(t, refs, dst)
+	t.WaitSync(hd)
+}
+
+// Handle is an outstanding non-blocking communication, as returned by
+// bupc_memget_vlist_async. Completion is a simulated-time event: the data
+// is staged at issue (legal because the paper only gathers read-only
+// cells) and becomes "available" when the clock passes CompleteAt.
+type Handle struct {
+	CompleteAt float64
+	Refs       int
+	Sources    int
+}
+
+// GatherAsync is bupc_memget_vlist_async: a non-blocking gather from
+// possibly many source threads. The sender is charged the per-message
+// overheads immediately; the handle completes when the slowest source's
+// reply would arrive.
+func (h *Heap[T]) GatherAsync(t *Thread, refs []Ref, dst []T) *Handle {
+	return h.GatherAsyncBytes(t, refs, dst, h.elemSize)
+}
+
+// GatherAsyncBytes is GatherAsync fetching only the leading bytesPer
+// bytes of each element (see GetBytes for the prefix semantics).
+func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int) *Handle {
+	if len(dst) < len(refs) {
+		panic("upc: GatherAsync destination shorter than reference list")
+	}
+	if bytesPer <= 0 || bytesPer > h.elemSize {
+		bytesPer = h.elemSize
+	}
+	m := t.rt.mach
+	// Group by source thread. Request lists are short (tens of cells), so
+	// a linear scan with a small map is fine.
+	type srcGroup struct{ count int }
+	groups := make(map[int32]*srcGroup, 4)
+	for i, r := range refs {
+		if r.IsNil() {
+			panic("upc: GatherAsync of nil reference")
+		}
+		// Stage the data now; it is exposed at sync time.
+		copyPrefix(&dst[i], h.ptr(r.Thr, r.Idx), bytesPer, h.elemSize)
+		g := groups[r.Thr]
+		if g == nil {
+			g = &srcGroup{}
+			groups[r.Thr] = g
+		}
+		g.count++
+	}
+	complete := t.clock
+	nsrc := 0
+	for thr, g := range groups {
+		bytes := g.count * bytesPer
+		if int(thr) == t.id {
+			t.ChargeRaw(float64(bytes) * m.Par.ByteCopyCost)
+			if t.clock > complete {
+				complete = t.clock
+			}
+			continue
+		}
+		nsrc++
+		c := m.Message(t.id, int(thr), bytes)
+		t.stats.Msgs++
+		t.stats.Bytes += uint64(bytes)
+		t.ChargeRaw(c.SenderBusy)
+		arrive := t.clock + c.Transit
+		start := t.rt.nicReserve(int(thr), arrive, c.TargetBusy)
+		if done := start + c.Transit; done > complete {
+			complete = done
+		}
+	}
+	t.stats.GatherReqs++
+	hist := nsrc
+	if hist >= len(t.stats.GatherSrcHist) {
+		hist = len(t.stats.GatherSrcHist) - 1
+	}
+	t.stats.GatherSrcHist[hist]++
+	return &Handle{CompleteAt: complete, Refs: len(refs), Sources: nsrc}
+}
+
+// WaitSync is bupc_waitsync: block until the handle completes.
+func (t *Thread) WaitSync(h *Handle) {
+	t.advanceTo(h.CompleteAt)
+}
+
+// TrySync is bupc_trysync: poll the handle; reports whether it has
+// completed by the thread's current simulated time. Each poll costs a
+// small runtime-progress charge.
+func (t *Thread) TrySync(h *Handle) bool {
+	t.ChargeRaw(t.rt.mach.Par.LocalDerefCost * 50)
+	return t.clock >= h.CompleteAt
+}

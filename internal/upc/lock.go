@@ -1,0 +1,78 @@
+package upc
+
+// Lock is a upc_lock_t: a global lock with affinity to a home thread. In
+// real execution it is a channel-based mutex (so waiters can abort if a
+// peer thread fails); in simulated time, acquisition costs a round trip
+// to the home thread and the critical sections of competing threads
+// serialize through the lock's availability time, which is what makes
+// lock contention visible in the reported phase times.
+type Lock struct {
+	rt      *Runtime
+	home    int
+	ch      chan struct{} // holds one token when the lock is free
+	availAt float64       // simulated time the lock frees up; guarded by holding the lock
+}
+
+// NewLock allocates a lock homed on thread `home` (upc_global_lock_alloc
+// distributes homes; the Barnes-Hut code uses arrays of locks).
+func (rt *Runtime) NewLock(home int) *Lock {
+	l := &Lock{rt: rt, home: home % rt.n, ch: make(chan struct{}, 1)}
+	l.ch <- struct{}{}
+	return l
+}
+
+// Acquire takes the lock (upc_lock). The caller's simulated clock is
+// advanced past both the messaging cost and any serialization behind the
+// previous holder. Acquire aborts if a peer thread has failed, so a
+// panic inside a critical section cannot strand other threads.
+func (l *Lock) Acquire(t *Thread) {
+	m := t.rt.mach
+	c := m.Message(t.id, l.home, 16)
+	t.stats.LockAcqs++
+	t.stats.Msgs++
+	select {
+	case <-l.ch:
+	default:
+		select {
+		case <-l.ch:
+		case <-t.rt.poisonCh:
+			panic(poisonAbort{poisonSecondary})
+		}
+	}
+	// Request is serviced at the home no earlier than the lock frees up.
+	req := t.clock + c.SenderBusy + c.Transit
+	if l.availAt > req {
+		req = l.availAt
+	}
+	t.clock = req + m.Par.LockOverhead + c.Transit
+}
+
+// Release drops the lock (upc_unlock).
+func (l *Lock) Release(t *Thread) {
+	m := t.rt.mach
+	c := m.Message(t.id, l.home, 16)
+	l.availAt = t.clock + c.SenderBusy + c.Transit + m.Par.LockOverhead
+	t.ChargeRaw(c.SenderBusy)
+	l.ch <- struct{}{}
+}
+
+// LockArray is the hashed array of locks SPLASH2 uses to protect octree
+// cells without one lock per cell.
+type LockArray struct {
+	locks []*Lock
+}
+
+// NewLockArray creates n locks with homes spread round-robin over threads.
+func (rt *Runtime) NewLockArray(n int) *LockArray {
+	la := &LockArray{locks: make([]*Lock, n)}
+	for i := range la.locks {
+		la.locks[i] = rt.NewLock(i % rt.n)
+	}
+	return la
+}
+
+// ForRef returns the lock guarding the cell addressed by r.
+func (la *LockArray) ForRef(r Ref) *Lock {
+	h := uint64(uint32(r.Thr))*0x9e3779b1 + uint64(uint32(r.Idx))*0x85ebca6b
+	return la.locks[h%uint64(len(la.locks))]
+}

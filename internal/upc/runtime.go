@@ -1,0 +1,319 @@
+// Package upc emulates the UPC (Unified Parallel C) partitioned global
+// address space runtime that the paper programs against, on top of
+// goroutines and a LogGP-style simulated-time cost model
+// (internal/machine).
+//
+// The emulation has two jobs:
+//
+//  1. Functional: provide the primitives the paper's code uses — SPMD
+//     thread launch, a partitioned shared heap addressed by global
+//     references, blocking and non-blocking one-sided transfers
+//     (upc_memget_ilist / bupc_memget_vlist_async), global locks,
+//     barriers, shared scalars with affinity to thread 0, and collectives
+//     including vector reduce&broadcast.
+//  2. Performance modelling: every operation advances the calling
+//     thread's *simulated* clock by the cost the machine model assigns
+//     it, and remote messages occupy the target thread's NIC, so
+//     hot-spots and lock contention serialize in simulated time the way
+//     they do on real PGAS hardware. All reported "times" in the
+//     experiment harness are these simulated clocks.
+//
+// Memory-model note: like UPC's relaxed memory model, concurrent relaxed
+// accesses to the same shared location are only meaningful when the
+// application synchronizes them (locks, barriers, flag protocols). The
+// Barnes-Hut code follows the paper's phase discipline; flags that are
+// genuinely polled across threads are accessed with atomics.
+package upc
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"upcbh/internal/machine"
+)
+
+// Runtime is one emulated UPC job: a fixed number of SPMD threads over a
+// machine model. A Runtime may execute many Run invocations; heaps, locks
+// and scalars created against it persist across them.
+type Runtime struct {
+	mach *machine.Machine
+	n    int
+
+	bar  *barrier
+	coll *collSite
+	nic  []nicState
+
+	// poisoned is set when a thread panics so that peers blocked in
+	// barriers/collectives abort instead of waiting forever; poisonCh is
+	// closed at the same time to abort lock waiters.
+	poisoned atomic.Pointer[string]
+	poisonCh chan struct{}
+
+	threads []*Thread
+}
+
+type nicState struct {
+	availAt atomic.Uint64 // float64 bits of the time the NIC frees up
+	_       [7]uint64     // avoid false sharing between adjacent targets
+}
+
+// NewRuntime creates a runtime with mach.Threads SPMD threads.
+func NewRuntime(mach *machine.Machine) *Runtime {
+	n := mach.Threads
+	rt := &Runtime{
+		mach:     mach,
+		n:        n,
+		bar:      newBarrier(n),
+		coll:     newCollSite(n),
+		nic:      make([]nicState, n),
+		poisonCh: make(chan struct{}),
+	}
+	rt.threads = make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		rt.threads[i] = &Thread{rt: rt, id: i}
+	}
+	return rt
+}
+
+// Threads returns the number of UPC threads (the UPC THREADS constant).
+func (rt *Runtime) Threads() int { return rt.n }
+
+// Machine returns the machine model the runtime charges costs against.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// Run executes fn once on every thread (SPMD) and blocks until all
+// complete. A panic on any thread poisons the runtime — peers blocked in
+// barriers or collectives abort immediately instead of deadlocking — and
+// the original panic is re-raised on the caller with the thread id and
+// stack attached. Run may be called repeatedly; simulated clocks continue
+// from where the previous Run left them.
+func (rt *Runtime) Run(fn func(t *Thread)) {
+	var wg sync.WaitGroup
+	panics := make(chan string, rt.n)
+	for i := 0; i < rt.n; i++ {
+		wg.Add(1)
+		go func(t *Thread) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					msg := fmt.Sprintf("upc: thread %d panicked: %v\n%s", t.id, r, debug.Stack())
+					if _, secondary := r.(poisonAbort); secondary {
+						msg = poisonSecondary
+					}
+					rt.poison(msg)
+					panics <- msg
+				}
+			}()
+			fn(t)
+		}(rt.threads[i])
+	}
+	wg.Wait()
+	close(panics)
+	primary := ""
+	for msg := range panics {
+		if msg != poisonSecondary && (primary == "" || primary == poisonSecondary) {
+			primary = msg
+		} else if primary == "" {
+			primary = msg
+		}
+	}
+	if primary != "" {
+		panic(primary)
+	}
+}
+
+// poisonAbort is the panic value thrown in threads that were aborted
+// because a peer failed first.
+type poisonAbort struct{ msg string }
+
+func (p poisonAbort) Error() string { return p.msg }
+
+const poisonSecondary = "upc: thread aborted because a peer thread panicked"
+
+// poison marks the runtime failed and wakes all blocked waiters.
+func (rt *Runtime) poison(msg string) {
+	if rt.poisoned.CompareAndSwap(nil, &msg) {
+		close(rt.poisonCh)
+	}
+	rt.bar.mu.Lock()
+	rt.bar.cond.Broadcast()
+	rt.bar.mu.Unlock()
+	rt.coll.mu.Lock()
+	rt.coll.cond.Broadcast()
+	rt.coll.mu.Unlock()
+}
+
+// checkPoison panics with a secondary abort if a peer has failed.
+func (rt *Runtime) checkPoison() {
+	if rt.poisoned.Load() != nil {
+		panic(poisonAbort{poisonSecondary})
+	}
+}
+
+// Poisoned reports whether a peer thread has failed; long-running local
+// loops (e.g. flag spins) should consult it to abort promptly.
+func (t *Thread) Poisoned() bool { return t.rt.poisoned.Load() != nil }
+
+// ResetClocks zeroes all simulated clocks and NIC states. Call between
+// independent experiments that share a Runtime.
+func (rt *Runtime) ResetClocks() {
+	for _, t := range rt.threads {
+		t.clock = 0
+		t.stats = Stats{}
+	}
+	for i := range rt.nic {
+		rt.nic[i].availAt.Store(0)
+	}
+}
+
+// nicReserve serializes a message arriving at target's NIC at time
+// `arrive`, occupying it for `busy`: it returns the time service starts.
+func (rt *Runtime) nicReserve(target int, arrive, busy float64) float64 {
+	a := &rt.nic[target].availAt
+	for {
+		oldBits := a.Load()
+		start := math.Float64frombits(oldBits)
+		if arrive > start {
+			start = arrive
+		}
+		if a.CompareAndSwap(oldBits, math.Float64bits(start+busy)) {
+			return start
+		}
+	}
+}
+
+// Thread is one emulated UPC thread. All methods must be called from the
+// goroutine Run assigned it; a Thread owns its simulated clock.
+type Thread struct {
+	rt    *Runtime
+	id    int
+	clock float64
+	stats Stats
+}
+
+// ID returns the UPC MYTHREAD value.
+func (t *Thread) ID() int { return t.id }
+
+// P returns the UPC THREADS value.
+func (t *Thread) P() int { return t.rt.n }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Now returns the thread's simulated clock in seconds.
+func (t *Thread) Now() float64 { return t.clock }
+
+// Charge advances the clock by a computation cost, inflated by the
+// threaded-runtime CPU factor of the machine model.
+func (t *Thread) Charge(sec float64) { t.clock += t.rt.mach.Compute(sec) }
+
+// ChargeRaw advances the clock by exactly sec (already-modelled costs).
+func (t *Thread) ChargeRaw(sec float64) { t.clock += sec }
+
+// advanceTo moves the clock forward to at least `when`.
+func (t *Thread) advanceTo(when float64) {
+	if when > t.clock {
+		t.clock = when
+	}
+}
+
+// AdvanceTo aligns the clock to a modelled completion event (e.g. a
+// producer's flag-set time observed by a spin-waiting consumer).
+func (t *Thread) AdvanceTo(when float64) { t.advanceTo(when) }
+
+// Stats returns a copy of this thread's operation counters.
+func (t *Thread) Stats() Stats { return t.stats }
+
+// BarrierCount returns how many barriers this thread has passed; cheap
+// epoch source for barrier-invalidated caches.
+func (t *Thread) BarrierCount() uint64 { return t.stats.Barriers }
+
+// Barrier is upc_barrier: synchronizes all threads in real execution and
+// aligns simulated clocks to max(participants) plus the modelled barrier
+// cost.
+func (t *Thread) Barrier() {
+	t.stats.Barriers++
+	t.clock = t.rt.bar.wait(t.rt, t.clock, t.rt.mach.BarrierCost())
+}
+
+// SendEvent charges the sender side of a one-way message of `bytes` to
+// thread `to` and returns the simulated time the data is fully received
+// (after queueing at the target NIC). It is the primitive the MPI
+// emulation layers its two-sided Send/Recv on.
+func (t *Thread) SendEvent(to, bytes int) float64 {
+	m := t.rt.mach
+	c := m.Message(t.id, to, bytes)
+	t.stats.Msgs++
+	t.stats.Bytes += uint64(bytes)
+	t.ChargeRaw(c.SenderBusy)
+	arrive := t.clock + c.Transit
+	start := t.rt.nicReserve(to, arrive, c.TargetBusy)
+	return start + c.TargetBusy
+}
+
+// Aborted returns a channel closed when a peer thread has failed; use it
+// to abort real blocking waits (e.g. a two-sided receive).
+func (rt *Runtime) Aborted() <-chan struct{} { return rt.poisonCh }
+
+// remoteRoundTrip charges a blocking one-sided transfer of `bytes`
+// between t and thread `target` and returns when the data is available.
+// It both advances the clock and records stats.
+func (t *Thread) remoteRoundTrip(target, bytes int) {
+	m := t.rt.mach
+	c := m.Message(t.id, target, bytes)
+	t.stats.Msgs++
+	t.stats.Bytes += uint64(bytes)
+	// Request reaches the target, queues at its NIC, then the reply
+	// transits back.
+	arrive := t.clock + c.SenderBusy + c.Transit
+	start := t.rt.nicReserve(target, arrive, c.TargetBusy)
+	t.clock = start + c.Transit
+}
+
+// barrier is a reusable generation barrier that also computes the maximum
+// simulated clock of the participants.
+type barrier struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+
+	gen      uint64
+	count    int
+	maxClock float64
+	resolved float64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n threads arrive; returns the aligned clock.
+// It aborts (panics with a secondary marker) if the runtime is poisoned.
+func (b *barrier) wait(rt *Runtime, clock, cost float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rt.checkPoison()
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.count++
+	if b.count == b.n {
+		b.resolved = b.maxClock + cost
+		b.count = 0
+		b.maxClock = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.resolved
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+		rt.checkPoison()
+	}
+	return b.resolved
+}

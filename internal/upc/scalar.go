@@ -1,0 +1,57 @@
+package upc
+
+import "sync"
+
+// Scalar is a UPC shared scalar variable: by the language specification
+// it has affinity to thread 0, so every read from another thread is a
+// remote access — the §5.1 pathology. The optimized code replicates such
+// values into thread-private copies instead of using Scalar reads.
+type Scalar[T any] struct {
+	rt *Runtime
+	mu sync.RWMutex
+	v  T
+}
+
+// NewScalar declares a shared scalar initialized to init.
+func NewScalar[T any](rt *Runtime, init T) *Scalar[T] {
+	return &Scalar[T]{rt: rt, v: init}
+}
+
+const scalarBytes = 8
+
+// Read returns the value, charging a remote round trip to thread 0 when
+// the caller is any other thread. The NIC occupancy at thread 0 makes
+// frequent scalar reads a simulated hot-spot, as observed in the paper.
+func (s *Scalar[T]) Read(t *Thread) T {
+	if t.id == 0 {
+		t.ChargeRaw(t.rt.mach.Par.GPtrDerefCost)
+	} else {
+		t.stats.RemoteGets++
+		t.remoteRoundTrip(0, scalarBytes)
+	}
+	s.mu.RLock()
+	v := s.v
+	s.mu.RUnlock()
+	return v
+}
+
+// Write stores the value (remote put when not on thread 0).
+func (s *Scalar[T]) Write(t *Thread, v T) {
+	if t.id == 0 {
+		t.ChargeRaw(t.rt.mach.Par.GPtrDerefCost)
+	} else {
+		t.stats.RemotePuts++
+		t.remoteRoundTrip(0, scalarBytes)
+	}
+	s.mu.Lock()
+	s.v = v
+	s.mu.Unlock()
+}
+
+// Peek reads the value without charging simulated cost. It is for the
+// harness and tests, not for modelled application code.
+func (s *Scalar[T]) Peek() T {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v
+}

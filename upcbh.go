@@ -1,0 +1,108 @@
+// Package upcbh is the public API of the UPC Barnes-Hut reproduction: a
+// distributed Barnes-Hut N-body simulator running on an emulated UPC
+// (PGAS) runtime with a LogGP-style machine model, implementing every
+// optimization level of "Optimizing the Barnes-Hut Algorithm in UPC"
+// (Zhang, Behzad, Snir; 2011).
+//
+// Quick start:
+//
+//	opts := upcbh.DefaultOptions(16384, 8, upcbh.LevelSubspace)
+//	sim, err := upcbh.New(opts)
+//	res, err := sim.Run()
+//	fmt.Println(res.Phases[upcbh.PhaseForce]) // simulated seconds
+//
+// The simulated per-phase times in Result correspond to the rows of the
+// paper's tables; Result.Bodies is the real physical outcome, validated
+// against direct summation in the test suite.
+package upcbh
+
+import (
+	"upcbh/internal/core"
+	"upcbh/internal/machine"
+	"upcbh/internal/nbody"
+	"upcbh/internal/vec"
+)
+
+// Re-exported core types. See the internal/core documentation for
+// details; these aliases are the supported public surface.
+type (
+	// Options configures a simulation run.
+	Options = core.Options
+	// Result is the outcome of a run: per-phase simulated times,
+	// per-thread breakdowns, operation statistics, and final body state.
+	Result = core.Result
+	// Sim is a configured simulation.
+	Sim = core.Sim
+	// Level is a cumulative optimization level from the paper.
+	Level = core.Level
+	// Phase identifies one phase of a time-step.
+	Phase = core.Phase
+	// Body is one simulated particle.
+	Body = nbody.Body
+	// V3 is a 3-component vector.
+	V3 = vec.V3
+	// Machine describes the emulated cluster configuration.
+	Machine = machine.Machine
+	// MachineParams holds the LogGP cost-model constants.
+	MachineParams = machine.Params
+)
+
+// Optimization levels (§4-§6 of the paper), cumulative.
+const (
+	LevelBaseline     = core.LevelBaseline
+	LevelScalars      = core.LevelScalars
+	LevelRedistribute = core.LevelRedistribute
+	LevelCacheTree    = core.LevelCacheTree
+	LevelMergedBuild  = core.LevelMergedBuild
+	LevelAsync        = core.LevelAsync
+	LevelSubspace     = core.LevelSubspace
+	NumLevels         = core.NumLevels
+)
+
+// Time-step phases (the rows of the paper's tables).
+const (
+	PhaseTree      = core.PhaseTree
+	PhaseCofM      = core.PhaseCofM
+	PhasePartition = core.PhasePartition
+	PhaseRedist    = core.PhaseRedist
+	PhaseForce     = core.PhaseForce
+	PhaseAdvance   = core.PhaseAdvance
+	NumPhases      = core.NumPhases
+)
+
+// New creates a simulation from options.
+func New(opts Options) (*Sim, error) { return core.New(opts) }
+
+// DefaultOptions returns paper/SPLASH2 defaults for n bodies on the given
+// number of emulated UPC threads (one per node) at an optimization level.
+func DefaultOptions(n, threads int, level Level) Options {
+	return core.DefaultOptions(n, threads, level)
+}
+
+// ParseLevel maps a level name ("baseline", ..., "subspace") to a Level.
+func ParseLevel(s string) (Level, error) { return core.ParseLevel(s) }
+
+// NewMachine describes an emulated cluster: total UPC threads, threads
+// packed per node, and whether the threaded (-pthreads) runtime is used.
+func NewMachine(threads, threadsPerNode int, pthreads bool) (*Machine, error) {
+	return machine.New(threads, threadsPerNode, pthreads, machine.Power5())
+}
+
+// Power5Params returns the cost-model preset calibrated to the paper's
+// IBM Power5/LAPI cluster.
+func Power5Params() MachineParams { return machine.Power5() }
+
+// Plummer generates n bodies from the Plummer model (the paper's initial
+// conditions) with a deterministic seed.
+func Plummer(n int, seed uint64) []Body { return nbody.Plummer(n, seed) }
+
+// TwoPlummer generates a two-cluster collision setup.
+func TwoPlummer(n int, seed uint64, offset, vrel V3) []Body {
+	return nbody.TwoPlummer(n, seed, offset, vrel)
+}
+
+// Energy returns kinetic and potential energy by direct summation
+// (O(n^2); diagnostics at modest n).
+func Energy(bodies []Body, eps float64) (kinetic, potential float64) {
+	return nbody.Energy(bodies, eps)
+}
