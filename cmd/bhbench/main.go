@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"upcbh/internal/bench"
+	"upcbh/internal/core"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		outDir  = flag.String("out", "", "also write each experiment's output to <out>/<id>.txt")
 		steps   = flag.Int("steps", 0, "override total time-steps (default: paper's 4)")
 		warmup  = flag.Int("warmup", 0, "override warmup steps (default: paper's 2)")
+		modeS   = flag.String("mode", "simulate", "execution backend: simulate | native (cost-model experiments — table9, fig12, ext-cache, ext-mpi — always run simulated; ext-native always runs both)")
 		verbose = flag.Bool("v", false, "print timing of each experiment run")
 	)
 	flag.Parse()
@@ -45,6 +47,12 @@ func main() {
 	p.Scale = *scale
 	p.MaxThreads = *maxThr
 	p.Steps, p.Warmup = *steps, *warmup
+	mode, err := core.ParseExecMode(*modeS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p.Mode = mode
 
 	var exps []bench.Experiment
 	if *exp == "all" {

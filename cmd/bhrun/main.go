@@ -21,6 +21,7 @@ func main() {
 		n        = flag.Int("n", 16384, "number of bodies")
 		threads  = flag.Int("threads", 8, "emulated UPC threads")
 		levelS   = flag.String("level", "subspace", "optimization level: baseline|scalars|redistribute|cache|merged|async|subspace")
+		modeS    = flag.String("mode", "simulate", "execution backend: simulate (modelled cluster time) | native (real parallel run, wall-clock time)")
 		steps    = flag.Int("steps", 4, "time-steps to run")
 		warmup   = flag.Int("warmup", 2, "warmup steps excluded from timing")
 		theta    = flag.Float64("theta", 1.0, "opening criterion")
@@ -39,7 +40,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	mode, err := upcbh.ParseExecMode(*modeS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := upcbh.DefaultOptions(*n, *threads, level)
+	opts.ExecMode = mode
 	opts.Steps, opts.Warmup = *steps, *warmup
 	opts.Theta, opts.Eps, opts.Dt, opts.Seed = *theta, *eps, *dt, *seed
 	opts.VectorReduce = !*noVec
@@ -66,8 +73,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("level=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n\n",
-		level, *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
+	timeKind := "simulated"
+	if mode == upcbh.ModeNative {
+		timeKind = "wall-clock"
+	}
+	fmt.Printf("level=%s mode=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n",
+		level, mode, *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
+	fmt.Printf("times are %s seconds\n\n", timeKind)
 	fmt.Printf("%-16s %12s %6s %12s %12s %10s\n", "phase", "t(s)", "%", "msgs", "MB", "locks")
 	total := res.Total()
 	for ph := upcbh.Phase(0); ph < upcbh.NumPhases; ph++ {

@@ -1,0 +1,3 @@
+module upcbh
+
+go 1.24

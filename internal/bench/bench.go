@@ -22,6 +22,13 @@ type Params struct {
 	MaxThreads int
 	// Steps/Warmup override the paper's 4/2 when positive.
 	Steps, Warmup int
+	// Mode selects the execution backend for every experiment run
+	// (default ModeSimulate — the paper's tables are simulated-time
+	// tables). Experiments whose results only exist in the cost model
+	// stay simulated regardless: ext-native always runs both backends,
+	// ext-cache/ext-mpi compare simulated costs, and any run with a
+	// custom machine (table9, fig12, ...) is pinned by options().
+	Mode core.ExecMode
 }
 
 // DefaultParams is the full harness configuration.
@@ -95,7 +102,14 @@ func runOne(opts core.Options) (*core.Result, error) {
 func options(p Params, n, threads int, level core.Level, m *machine.Machine) core.Options {
 	opts := core.DefaultOptions(n, threads, level)
 	opts.Steps, opts.Warmup = p.steps()
+	opts.ExecMode = p.Mode
 	if m != nil {
+		// A custom machine means the experiment's point is the cost model
+		// (node packing, pthreads factor, loopback path) — which the
+		// native backend ignores entirely. Pin those runs to simulation so
+		// `-mode native` cannot turn their labelled series into identical
+		// wall-clock noise.
+		opts.ExecMode = core.ModeSimulate
 		opts.Machine = m
 	}
 	return opts

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
 		"fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-		"ext-cache", "ext-mpi",
+		"ext-cache", "ext-mpi", "ext-native",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {
@@ -110,6 +110,24 @@ func TestEveryRunnerExecutes(t *testing.T) {
 				t.Errorf("output suspiciously short:\n%s", out)
 			}
 		})
+	}
+}
+
+// TestModeComparisonExperiment: the ext-native experiment must print
+// both backends' per-phase columns for the same configuration.
+func TestModeComparisonExperiment(t *testing.T) {
+	e, err := ByID("ext-native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim t(s)", "wall t(s)", "Force Comp.", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -23,6 +23,12 @@ func extensionExperiments() []Experiment {
 			Paper: "§9 future work: 'We suspect that, with all these changes, the UPC code is as efficient as a similar MPI code' — the comparison the authors planned",
 			Run:   runExtMPI,
 		},
+		{
+			ID:    "ext-native",
+			Title: "Extension: Simulate vs Native backend, same configuration",
+			Paper: "beyond the paper: the same UPC Barnes-Hut code run as a real parallel program on this host (ModeNative) vs the simulated Power5 cluster (ModeSimulate); per-phase simulated and wall-clock times side by side",
+			Run:   runModeComparison,
+		},
 	}
 }
 
@@ -45,6 +51,9 @@ func runExtCache(p Params) (string, error) {
 		s := series{label: cfg.label}
 		for _, th := range threads {
 			opts := options(p, n, th, core.LevelRedistribute, nil)
+			// The transparent cache's effect is entirely simulated-cost
+			// savings, so this ablation is simulate-only (as is ext-mpi).
+			opts.ExecMode = core.ModeSimulate
 			cfg.mut(&opts)
 			res, err := runOne(opts)
 			if err != nil {
@@ -67,7 +76,12 @@ func runExtMPI(p Params) (string, error) {
 	mpiS := series{label: "MPI, locally essential trees"}
 	steps, warmup := p.steps()
 	for _, th := range threads {
-		res, err := runOne(options(p, n, th, core.LevelSubspace, nil))
+		opts := options(p, n, th, core.LevelSubspace, nil)
+		// The MPI emulation is simulate-only, so pin the UPC side to the
+		// same backend regardless of Params.Mode — mixing wall-clock and
+		// simulated columns would be meaningless.
+		opts.ExecMode = core.ModeSimulate
+		res, err := runOne(opts)
 		if err != nil {
 			return "", err
 		}

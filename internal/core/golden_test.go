@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// simulateGolden1T holds the per-phase simulated times of the
+// single-thread n=2048 configuration (DefaultOptions: 4 steps, 2
+// measured) for every optimization level, captured from the pre-refactor
+// tree (before the CostModel/ExecMode seam was extracted). Single-thread
+// runs are fully deterministic — no lock, NIC, or merge races — so the
+// Simulate backend must reproduce them essentially exactly; any drift
+// means the refactor changed the cost model, not just its packaging.
+//
+// Regenerate with `go run ./internal/core/goldengen` after an
+// intentional cost-model change.
+var simulateGolden1T = map[string]PhaseTimes{
+	"baseline":     {0.016181087999543597, 0.00099039999999339656, 0.0005034559999088084, 0, 0.35947125993326862, 0.00063487999977951404},
+	"scalars":      {0.016009311999482856, 0.00099039999982231119, 0.00050337599996508331, 0, 0.30037277996437545, 0.00063487999977951404},
+	"redistribute": {0.015694871999648363, 0.00099039999982231119, 0.00050337599996508331, 0, 0.30004509996454787, 0.00030719999995199032},
+	"cache":        {0.015694871999648363, 0.00099039999982231119, 0.00050337599996508331, 0, 0.25857483198684655, 0.00030719999995199032},
+	"merged":       {0.0050991839998797417, 0, 0.00050337599996508331, 0, 0.2585748319868435, 0.00030719999995199032},
+	"async":        {0.0050991839998797417, 0, 0.00050337599996508331, 0, 0.25843982798696341, 0.00030719999995199032},
+	"subspace":     {0.0056788959999595212, 0, 4.1120001119665517e-06, 0.00015449600000005947, 0.25843982798696546, 0.00030719999995199032},
+}
+
+// simulateGolden4T holds one pre-refactor sample of the 4-thread n=2048
+// configuration. Multi-thread simulated times are not run-to-run
+// deterministic (goroutine scheduling reorders lock acquisitions and NIC
+// reservations, which is part of what the model simulates), so these are
+// checked with a generous tolerance: they catch structural regressions —
+// a phase losing its charges entirely, or costs changing by integer
+// factors — not scheduling noise.
+var simulateGolden4T = map[string]PhaseTimes{
+	"baseline":     {0.7982555211646698, 0.087730104020998567, 0.087363609025842948, 0, 49.498845671753514, 0.16626567307145024},
+	"scalars":      {0.63234063703247401, 0.088497108005896052, 0.086924675994925593, 0, 19.544972014477946, 0.16637548702847482},
+	"redistribute": {0.38270341696052412, 0.0060677439969616387, 0.0052585999976564324, 6.9076000002610272e-05, 18.212465192487507, 7.777500090710987e-05},
+	"cache":        {0.38270341699661814, 0.006067743999750741, 0.0052586000000616195, 6.9076000000167781e-05, 0.40576458006634386, 7.7774999987845206e-05},
+	"merged":       {0.038842869000307201, 0, 0.0057515149998793591, 6.7367999999956574e-05, 0.41208342802714437, 7.7774999987845206e-05},
+	"async":        {0.037719153000309036, 0, 0.0054038229999012755, 6.8703999999919496e-05, 0.26057820598761716, 7.777499998784520e-05},
+	"subspace":     {0.0036927979999637484, 0, 1.547000042123603e-06, 0.00010980000000004875, 0.26017232798723317, 0.00011519999998199637},
+}
+
+func goldenRun(t *testing.T, level Level, threads int) *Result {
+	t.Helper()
+	opts := DefaultOptions(2048, threads, level)
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSimulateGoldenSingleThread pins the Simulate backend to the exact
+// pre-refactor phase tables at one thread.
+func TestSimulateGoldenSingleThread(t *testing.T) {
+	for level := LevelBaseline; level < NumLevels; level++ {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			want, ok := simulateGolden1T[level.String()]
+			if !ok {
+				t.Fatalf("no golden for level %v", level)
+			}
+			res := goldenRun(t, level, 1)
+			for p := Phase(0); p < NumPhases; p++ {
+				got := res.Phases[p]
+				if want[p] == 0 {
+					if got != 0 {
+						t.Errorf("%v: got %.17g, want exactly 0", p, got)
+					}
+					continue
+				}
+				if rel := math.Abs(got-want[p]) / want[p]; rel > 1e-12 {
+					t.Errorf("%v: got %.17g, want %.17g (rel err %g)", p, got, want[p], rel)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulateGoldenFourThreads bounds the Simulate backend against a
+// pre-refactor 4-thread sample within scheduling noise.
+func TestSimulateGoldenFourThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulated runs")
+	}
+	const tol = 0.5 // scheduling noise observed <~15%; flag >50% shifts
+	for level := LevelBaseline; level < NumLevels; level++ {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			want := simulateGolden4T[level.String()]
+			res := goldenRun(t, level, 4)
+			for p := Phase(0); p < NumPhases; p++ {
+				got := res.Phases[p]
+				// Tiny phases (<1ms) sit inside per-op noise; the large
+				// ones carry the regression signal.
+				if want[p] < 1e-3 {
+					continue
+				}
+				if rel := math.Abs(got-want[p]) / want[p]; rel > tol {
+					t.Errorf("%v: got %g, want %g within %.0f%% (rel err %g)",
+						p, got, want[p], 100*tol, rel)
+				}
+			}
+		})
+	}
+}

@@ -95,7 +95,7 @@ func New(opts Options) (*Sim, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	rt := upc.NewRuntime(opts.Machine)
+	rt := upc.NewRuntimeMode(opts.Machine, opts.ExecMode)
 	p := rt.Threads()
 	perThread := opts.Bodies/p + 1
 	bodyChunk := 16 * perThread // buffers must fit one chunk (LocalSlice)
@@ -403,6 +403,7 @@ func (s *Sim) collect() (*Result, error) {
 	res := &Result{
 		Level:      s.o.Level,
 		Threads:    p,
+		ExecMode:   s.o.ExecMode,
 		StepPhases: make([]PhaseTimes, nsteps),
 		PerThread:  make([]ThreadBreakdown, p),
 	}

@@ -40,8 +40,25 @@ func (p Phase) String() string {
 	return phaseNames[p]
 }
 
-// PhaseTimes holds simulated seconds per phase.
+// PhaseTimes holds seconds per phase: simulated seconds in ModeSimulate,
+// measured wall-clock seconds in ModeNative.
 type PhaseTimes [NumPhases]float64
+
+// ExecMode selects the execution backend: ModeSimulate charges every UPC
+// operation against the LogGP machine model and reports simulated times
+// (the paper reproduction); ModeNative runs the same algorithm with real
+// goroutine parallelism, real locks and barriers, and reports measured
+// wall-clock phase times.
+type ExecMode = upc.ExecMode
+
+// Execution backends.
+const (
+	ModeSimulate = upc.ModeSimulate
+	ModeNative   = upc.ModeNative
+)
+
+// ParseExecMode maps a mode name ("simulate", "native") to an ExecMode.
+func ParseExecMode(s string) (ExecMode, error) { return upc.ParseExecMode(s) }
 
 // Total returns the summed time over all phases.
 func (pt PhaseTimes) Total() float64 {
@@ -134,6 +151,10 @@ type Options struct {
 	Dt    float64 // time-step (SPLASH2 default 0.025)
 	Seed  uint64
 
+	// ExecMode selects the execution backend (default ModeSimulate). The
+	// physics is mode-independent; only the timing policy changes.
+	ExecMode ExecMode
+
 	Level           Level
 	AliasLocalCells bool // §5.3.2: avoid copying cells that are already local
 	VectorReduce    bool // §6: vector (true) vs per-subspace scalar (false) reductions
@@ -194,6 +215,9 @@ func (o *Options) validate() error {
 	if o.Level < 0 || o.Level >= NumLevels {
 		return fmt.Errorf("core: invalid level %d", int(o.Level))
 	}
+	if o.ExecMode != ModeSimulate && o.ExecMode != ModeNative {
+		return fmt.Errorf("core: invalid exec mode %d", int(o.ExecMode))
+	}
 	if o.Theta <= 0 {
 		return fmt.Errorf("core: Theta must be positive")
 	}
@@ -227,10 +251,13 @@ type ThreadBreakdown struct {
 type Result struct {
 	Level   Level
 	Threads int
+	// ExecMode records which backend produced the timings: simulated
+	// seconds (ModeSimulate) or measured wall-clock seconds (ModeNative).
+	ExecMode ExecMode
 
-	// Phases is the per-phase simulated time: max over threads within
-	// each measured step, summed over measured steps — the quantity the
-	// paper's tables report.
+	// Phases is the per-phase time: max over threads within each measured
+	// step, summed over measured steps — the quantity the paper's tables
+	// report (simulated in ModeSimulate, wall-clock in ModeNative).
 	Phases PhaseTimes
 	// StepPhases is the same, per measured step.
 	StepPhases []PhaseTimes

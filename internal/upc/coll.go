@@ -87,7 +87,7 @@ func (op Op) apply(a, b float64) float64 {
 // AllReduceF64 is a scalar reduce&broadcast over all threads.
 func AllReduceF64(t *Thread, v float64, op Op) float64 {
 	t.stats.Collectives++
-	cost := t.rt.mach.CollectiveCost(8)
+	cost := t.rt.cost.collectiveCost(t, 8)
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		acc := slots[0].(float64)
 		for _, s := range slots[1:] {
@@ -95,7 +95,7 @@ func AllReduceF64(t *Thread, v float64, op Op) float64 {
 		}
 		return acc
 	})
-	t.advanceTo(clock)
+	t.AdvanceTo(clock)
 	return res.(float64)
 }
 
@@ -105,7 +105,7 @@ func AllReduceF64(t *Thread, v float64, op Op) float64 {
 // modified; all threads receive the same freshly allocated result.
 func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 	t.stats.Collectives++
-	cost := t.rt.mach.CollectiveCost(8 * len(v))
+	cost := t.rt.cost.collectiveCost(t, 8*len(v))
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		first := slots[0].([]float64)
 		acc := make([]float64, len(first))
@@ -121,7 +121,7 @@ func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 		}
 		return acc
 	})
-	t.advanceTo(clock)
+	t.AdvanceTo(clock)
 	return res.([]float64)
 }
 
@@ -129,11 +129,11 @@ func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 func Broadcast[T any](t *Thread, root int, v T) T {
 	t.stats.Collectives++
 	var zero T
-	cost := t.rt.mach.CollectiveCost(8) // payloads here are scalar-sized
+	cost := t.rt.cost.collectiveCost(t, 8) // payloads here are scalar-sized
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		return slots[root]
 	})
-	t.advanceTo(clock)
+	t.AdvanceTo(clock)
 	if res == nil {
 		return zero
 	}
@@ -144,7 +144,7 @@ func Broadcast[T any](t *Thread, root int, v T) T {
 // by thread id and shared (read-only) by all threads.
 func AllGather[T any](t *Thread, v T) []T {
 	t.stats.Collectives++
-	cost := t.rt.mach.CollectiveCost(8 * t.rt.n)
+	cost := t.rt.cost.collectiveCost(t, 8*t.rt.n)
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		out := make([]T, len(slots))
 		for i, s := range slots {
@@ -152,7 +152,7 @@ func AllGather[T any](t *Thread, v T) []T {
 		}
 		return out
 	})
-	t.advanceTo(clock)
+	t.AdvanceTo(clock)
 	return res.([]T)
 }
 
@@ -176,7 +176,7 @@ func AllToAll[T any](t *Thread, send [][]T) [][]T {
 		}
 		return out
 	})
-	t.advanceTo(clock)
+	t.AdvanceTo(clock)
 	matrix := res.([][][]T)
 	var zero T
 	elem := intSizeof(zero)

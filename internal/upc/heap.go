@@ -291,7 +291,6 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 	if bytesPer <= 0 || bytesPer > h.elemSize {
 		bytesPer = h.elemSize
 	}
-	m := t.rt.mach
 	// Group by source thread. Request lists are short (tens of cells), so
 	// a linear scan with a small map is fine.
 	type srcGroup struct{ count int }
@@ -309,25 +308,24 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 		}
 		g.count++
 	}
-	complete := t.clock
+	// CompleteAt only matters under simulation (native handles are done
+	// at issue); skip the clock reads in the async-force hot path.
+	complete := 0.0
+	if !t.rt.native {
+		complete = t.rt.cost.now(t)
+	}
 	nsrc := 0
 	for thr, g := range groups {
 		bytes := g.count * bytesPer
-		if int(thr) == t.id {
-			t.ChargeRaw(float64(bytes) * m.Par.ByteCopyCost)
-			if t.clock > complete {
-				complete = t.clock
-			}
+		if int(thr) != t.id {
+			nsrc++
+			t.stats.Msgs++
+			t.stats.Bytes += uint64(bytes)
+		}
+		if t.rt.native {
 			continue
 		}
-		nsrc++
-		c := m.Message(t.id, int(thr), bytes)
-		t.stats.Msgs++
-		t.stats.Bytes += uint64(bytes)
-		t.ChargeRaw(c.SenderBusy)
-		arrive := t.clock + c.Transit
-		start := t.rt.nicReserve(int(thr), arrive, c.TargetBusy)
-		if done := start + c.Transit; done > complete {
+		if done := t.rt.cost.gatherGroup(t, int(thr), bytes); done > complete {
 			complete = done
 		}
 	}
@@ -340,15 +338,16 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 	return &Handle{CompleteAt: complete, Refs: len(refs), Sources: nsrc}
 }
 
-// WaitSync is bupc_waitsync: block until the handle completes.
+// WaitSync is bupc_waitsync: block until the handle completes. (The data
+// is staged at issue, so in ModeNative this returns immediately; in
+// ModeSimulate it aligns the clock to the completion event.)
 func (t *Thread) WaitSync(h *Handle) {
-	t.advanceTo(h.CompleteAt)
+	t.AdvanceTo(h.CompleteAt)
 }
 
 // TrySync is bupc_trysync: poll the handle; reports whether it has
-// completed by the thread's current simulated time. Each poll costs a
-// small runtime-progress charge.
+// completed by the thread's current time. Each poll costs a small
+// runtime-progress charge under simulation.
 func (t *Thread) TrySync(h *Handle) bool {
-	t.ChargeRaw(t.rt.mach.Par.LocalDerefCost * 50)
-	return t.clock >= h.CompleteAt
+	return t.rt.cost.trySync(t, h)
 }

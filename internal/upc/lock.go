@@ -2,10 +2,10 @@ package upc
 
 // Lock is a upc_lock_t: a global lock with affinity to a home thread. In
 // real execution it is a channel-based mutex (so waiters can abort if a
-// peer thread fails); in simulated time, acquisition costs a round trip
-// to the home thread and the critical sections of competing threads
-// serialize through the lock's availability time, which is what makes
-// lock contention visible in the reported phase times.
+// peer thread fails); in simulated time, acquisition additionally costs a
+// round trip to the home thread and the critical sections of competing
+// threads serialize through the lock's availability time, which is what
+// makes lock contention visible in the reported phase times.
 type Lock struct {
 	rt      *Runtime
 	home    int
@@ -21,13 +21,12 @@ func (rt *Runtime) NewLock(home int) *Lock {
 	return l
 }
 
-// Acquire takes the lock (upc_lock). The caller's simulated clock is
-// advanced past both the messaging cost and any serialization behind the
-// previous holder. Acquire aborts if a peer thread has failed, so a
-// panic inside a critical section cannot strand other threads.
+// Acquire takes the lock (upc_lock). Mutual exclusion is real in every
+// mode; under simulation the caller's clock is additionally advanced past
+// both the messaging cost and any serialization behind the previous
+// holder. Acquire aborts if a peer thread has failed, so a panic inside a
+// critical section cannot strand other threads.
 func (l *Lock) Acquire(t *Thread) {
-	m := t.rt.mach
-	c := m.Message(t.id, l.home, 16)
 	t.stats.LockAcqs++
 	t.stats.Msgs++
 	select {
@@ -39,20 +38,12 @@ func (l *Lock) Acquire(t *Thread) {
 			panic(poisonAbort{poisonSecondary})
 		}
 	}
-	// Request is serviced at the home no earlier than the lock frees up.
-	req := t.clock + c.SenderBusy + c.Transit
-	if l.availAt > req {
-		req = l.availAt
-	}
-	t.clock = req + m.Par.LockOverhead + c.Transit
+	t.rt.cost.lockAcquired(t, l)
 }
 
 // Release drops the lock (upc_unlock).
 func (l *Lock) Release(t *Thread) {
-	m := t.rt.mach
-	c := m.Message(t.id, l.home, 16)
-	l.availAt = t.clock + c.SenderBusy + c.Transit + m.Par.LockOverhead
-	t.ChargeRaw(c.SenderBusy)
+	t.rt.cost.lockReleasing(t, l)
 	l.ch <- struct{}{}
 }
 

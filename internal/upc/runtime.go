@@ -38,9 +38,18 @@ import (
 // Runtime is one emulated UPC job: a fixed number of SPMD threads over a
 // machine model. A Runtime may execute many Run invocations; heaps, locks
 // and scalars created against it persist across them.
+//
+// The execution backend (ExecMode) is fixed at construction: ModeSimulate
+// charges every operation against the LogGP machine model, ModeNative
+// runs with real parallelism and wall-clock timing only.
 type Runtime struct {
 	mach *machine.Machine
 	n    int
+	cost costModel
+	// native caches cost.mode() == ModeNative so the per-operation hot
+	// paths (Charge in the force inner loop runs millions of times) pay
+	// one predictable branch instead of an interface dispatch.
+	native bool
 
 	bar  *barrier
 	coll *collSite
@@ -60,12 +69,21 @@ type nicState struct {
 	_       [7]uint64     // avoid false sharing between adjacent targets
 }
 
-// NewRuntime creates a runtime with mach.Threads SPMD threads.
+// NewRuntime creates a ModeSimulate runtime with mach.Threads SPMD
+// threads.
 func NewRuntime(mach *machine.Machine) *Runtime {
+	return NewRuntimeMode(mach, ModeSimulate)
+}
+
+// NewRuntimeMode creates a runtime with mach.Threads SPMD threads using
+// the given execution backend.
+func NewRuntimeMode(mach *machine.Machine, mode ExecMode) *Runtime {
 	n := mach.Threads
 	rt := &Runtime{
 		mach:     mach,
 		n:        n,
+		cost:     newCostModel(mode),
+		native:   mode == ModeNative,
 		bar:      newBarrier(n),
 		coll:     newCollSite(n),
 		nic:      make([]nicState, n),
@@ -80,6 +98,9 @@ func NewRuntime(mach *machine.Machine) *Runtime {
 
 // Threads returns the number of UPC threads (the UPC THREADS constant).
 func (rt *Runtime) Threads() int { return rt.n }
+
+// Mode returns the execution backend the runtime was built with.
+func (rt *Runtime) Mode() ExecMode { return rt.cost.mode() }
 
 // Machine returns the machine model the runtime charges costs against.
 func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
@@ -157,16 +178,14 @@ func (rt *Runtime) checkPoison() {
 // loops (e.g. flag spins) should consult it to abort promptly.
 func (t *Thread) Poisoned() bool { return t.rt.poisoned.Load() != nil }
 
-// ResetClocks zeroes all simulated clocks and NIC states. Call between
-// independent experiments that share a Runtime.
+// ResetClocks restarts time (simulated clocks and NIC states, or the
+// wall-clock epoch in ModeNative) and zeroes the operation counters. Call
+// between independent experiments that share a Runtime.
 func (rt *Runtime) ResetClocks() {
 	for _, t := range rt.threads {
-		t.clock = 0
 		t.stats = Stats{}
 	}
-	for i := range rt.nic {
-		rt.nic[i].availAt.Store(0)
-	}
+	rt.cost.reset(rt)
 }
 
 // nicReserve serializes a message arriving at target's NIC at time
@@ -203,26 +222,39 @@ func (t *Thread) P() int { return t.rt.n }
 // Runtime returns the owning runtime.
 func (t *Thread) Runtime() *Runtime { return t.rt }
 
-// Now returns the thread's simulated clock in seconds.
-func (t *Thread) Now() float64 { return t.clock }
+// Now returns the thread's current time in seconds: the simulated clock
+// in ModeSimulate, wall-clock seconds since the runtime epoch in
+// ModeNative.
+func (t *Thread) Now() float64 { return t.rt.cost.now(t) }
 
-// Charge advances the clock by a computation cost, inflated by the
-// threaded-runtime CPU factor of the machine model.
-func (t *Thread) Charge(sec float64) { t.clock += t.rt.mach.Compute(sec) }
-
-// ChargeRaw advances the clock by exactly sec (already-modelled costs).
-func (t *Thread) ChargeRaw(sec float64) { t.clock += sec }
-
-// advanceTo moves the clock forward to at least `when`.
-func (t *Thread) advanceTo(when float64) {
-	if when > t.clock {
-		t.clock = when
+// Charge accounts a computation cost, inflated by the threaded-runtime
+// CPU factor of the machine model (no-op in ModeNative, where the real
+// computation takes its real time).
+func (t *Thread) Charge(sec float64) {
+	if t.rt.native {
+		return
 	}
+	t.clock += t.rt.mach.Compute(sec)
+}
+
+// ChargeRaw accounts exactly sec of already-modelled cost.
+func (t *Thread) ChargeRaw(sec float64) {
+	if t.rt.native {
+		return
+	}
+	t.clock += sec
 }
 
 // AdvanceTo aligns the clock to a modelled completion event (e.g. a
 // producer's flag-set time observed by a spin-waiting consumer).
-func (t *Thread) AdvanceTo(when float64) { t.advanceTo(when) }
+func (t *Thread) AdvanceTo(when float64) {
+	if t.rt.native {
+		return
+	}
+	if when > t.clock {
+		t.clock = when
+	}
+}
 
 // Stats returns a copy of this thread's operation counters.
 func (t *Thread) Stats() Stats { return t.stats }
@@ -231,46 +263,35 @@ func (t *Thread) Stats() Stats { return t.stats }
 // epoch source for barrier-invalidated caches.
 func (t *Thread) BarrierCount() uint64 { return t.stats.Barriers }
 
-// Barrier is upc_barrier: synchronizes all threads in real execution and
-// aligns simulated clocks to max(participants) plus the modelled barrier
-// cost.
+// Barrier is upc_barrier: synchronizes all threads in real execution
+// and, in ModeSimulate, aligns simulated clocks to max(participants)
+// plus the modelled barrier cost.
 func (t *Thread) Barrier() {
 	t.stats.Barriers++
-	t.clock = t.rt.bar.wait(t.rt, t.clock, t.rt.mach.BarrierCost())
+	t.rt.cost.barrier(t)
 }
 
 // SendEvent charges the sender side of a one-way message of `bytes` to
-// thread `to` and returns the simulated time the data is fully received
-// (after queueing at the target NIC). It is the primitive the MPI
-// emulation layers its two-sided Send/Recv on.
+// thread `to` and returns the time the data is fully received (after
+// queueing at the target NIC). It is the primitive the MPI emulation
+// layers its two-sided Send/Recv on.
 func (t *Thread) SendEvent(to, bytes int) float64 {
-	m := t.rt.mach
-	c := m.Message(t.id, to, bytes)
 	t.stats.Msgs++
 	t.stats.Bytes += uint64(bytes)
-	t.ChargeRaw(c.SenderBusy)
-	arrive := t.clock + c.Transit
-	start := t.rt.nicReserve(to, arrive, c.TargetBusy)
-	return start + c.TargetBusy
+	return t.rt.cost.sendEvent(t, to, bytes)
 }
 
 // Aborted returns a channel closed when a peer thread has failed; use it
 // to abort real blocking waits (e.g. a two-sided receive).
 func (rt *Runtime) Aborted() <-chan struct{} { return rt.poisonCh }
 
-// remoteRoundTrip charges a blocking one-sided transfer of `bytes`
-// between t and thread `target` and returns when the data is available.
-// It both advances the clock and records stats.
+// remoteRoundTrip records a blocking one-sided transfer of `bytes`
+// between t and thread `target`: the stats are counted in every mode,
+// the time accounting is the cost model's.
 func (t *Thread) remoteRoundTrip(target, bytes int) {
-	m := t.rt.mach
-	c := m.Message(t.id, target, bytes)
 	t.stats.Msgs++
 	t.stats.Bytes += uint64(bytes)
-	// Request reaches the target, queues at its NIC, then the reply
-	// transits back.
-	arrive := t.clock + c.SenderBusy + c.Transit
-	start := t.rt.nicReserve(target, arrive, c.TargetBusy)
-	t.clock = start + c.Transit
+	t.rt.cost.remoteRoundTrip(t, target, bytes)
 }
 
 // barrier is a reusable generation barrier that also computes the maximum

@@ -78,15 +78,16 @@ func (rt *Runtime) TotalStats() Stats {
 	return agg
 }
 
-// ThreadClock returns thread i's simulated clock (after Run returns).
-func (rt *Runtime) ThreadClock(i int) float64 { return rt.threads[i].clock }
+// ThreadClock returns thread i's clock (after Run returns): simulated
+// seconds in ModeSimulate, wall-clock seconds since the epoch otherwise.
+func (rt *Runtime) ThreadClock(i int) float64 { return rt.cost.now(rt.threads[i]) }
 
-// MaxClock returns the maximum simulated clock over all threads.
+// MaxClock returns the maximum clock over all threads.
 func (rt *Runtime) MaxClock() float64 {
 	var mx float64
 	for _, t := range rt.threads {
-		if t.clock > mx {
-			mx = t.clock
+		if c := rt.cost.now(t); c > mx {
+			mx = c
 		}
 	}
 	return mx

@@ -14,6 +14,19 @@
 // The simulated per-phase times in Result correspond to the rows of the
 // paper's tables; Result.Bodies is the real physical outcome, validated
 // against direct summation in the test suite.
+//
+// Two execution backends are available (Options.ExecMode). ModeSimulate
+// (the default, shown above) charges every UPC operation against the
+// LogGP machine model and reports simulated cluster times. ModeNative
+// runs the identical algorithm as a real parallel Go program — goroutine
+// per UPC thread, real locks and barriers, no cost accounting — and
+// reports measured wall-clock phase times instead:
+//
+//	opts.ExecMode = upcbh.ModeNative
+//	sim, err := upcbh.New(opts)
+//	res, err := sim.Run() // res.Phases are now measured wall seconds
+//
+// The physics is identical between modes; only the timing policy differs.
 package upcbh
 
 import (
@@ -35,6 +48,10 @@ type (
 	Sim = core.Sim
 	// Level is a cumulative optimization level from the paper.
 	Level = core.Level
+	// ExecMode selects the execution backend: cost-modelled simulation
+	// (ModeSimulate, the paper reproduction) or real parallel execution
+	// with wall-clock timing (ModeNative).
+	ExecMode = core.ExecMode
 	// Phase identifies one phase of a time-step.
 	Phase = core.Phase
 	// Body is one simulated particle.
@@ -59,6 +76,12 @@ const (
 	NumLevels         = core.NumLevels
 )
 
+// Execution backends (Options.ExecMode).
+const (
+	ModeSimulate = core.ModeSimulate
+	ModeNative   = core.ModeNative
+)
+
 // Time-step phases (the rows of the paper's tables).
 const (
 	PhaseTree      = core.PhaseTree
@@ -81,6 +104,9 @@ func DefaultOptions(n, threads int, level Level) Options {
 
 // ParseLevel maps a level name ("baseline", ..., "subspace") to a Level.
 func ParseLevel(s string) (Level, error) { return core.ParseLevel(s) }
+
+// ParseExecMode maps a backend name ("simulate", "native") to an ExecMode.
+func ParseExecMode(s string) (ExecMode, error) { return core.ParseExecMode(s) }
 
 // NewMachine describes an emulated cluster: total UPC threads, threads
 // packed per node, and whether the threaded (-pthreads) runtime is used.
