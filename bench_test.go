@@ -13,7 +13,9 @@ import (
 	"upcbh/internal/bench"
 )
 
-// runExperiment executes one registry entry per benchmark iteration.
+// runExperiment executes one registry entry per benchmark iteration. A
+// fresh Runner per iteration keeps the memoization cache cold, so the
+// benchmark measures real simulation work, not cache lookups.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	e, err := bench.ByID(id)
@@ -22,12 +24,12 @@ func runExperiment(b *testing.B, id string) {
 	}
 	p := bench.QuickParams()
 	for i := 0; i < b.N; i++ {
-		out, err := e.Run(p)
+		rep, err := e.Run(bench.NewRunner(0), p)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			b.Logf("%s:\n%s", e.Title, out)
+			b.Logf("%s:\n%s", e.Title, rep.Text)
 		}
 	}
 }

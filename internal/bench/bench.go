@@ -2,11 +2,18 @@
 // and figure of the paper's evaluation at configurable (scaled-down)
 // workload sizes, formatting results in the paper's layout so shapes can
 // be compared side by side. See DESIGN.md §4 for the experiment index.
+//
+// Experiments execute through a shared Runner that memoizes
+// configurations by core.Options.Key (configs shared across
+// tables/figures simulate once) and runs independent simulate-mode
+// configs concurrently; each Experiment.Run returns a structured Report
+// that serializes to JSON. See DESIGN.md §5.
 package bench
 
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"upcbh/internal/core"
 	"upcbh/internal/machine"
@@ -17,18 +24,19 @@ type Params struct {
 	// Scale multiplies body counts; 1.0 is the harness default workload
 	// (a laptop-sized stand-in for the paper's 2M bodies), smaller values
 	// suit unit benches.
-	Scale float64
+	Scale float64 `json:"scale"`
 	// MaxThreads caps the emulated thread counts (0 = experiment default).
-	MaxThreads int
+	MaxThreads int `json:"max_threads,omitempty"`
 	// Steps/Warmup override the paper's 4/2 when positive.
-	Steps, Warmup int
+	Steps  int `json:"steps,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
 	// Mode selects the execution backend for every experiment run
 	// (default ModeSimulate — the paper's tables are simulated-time
 	// tables). Experiments whose results only exist in the cost model
 	// stay simulated regardless: ext-native always runs both backends,
 	// ext-cache/ext-mpi compare simulated costs, and any run with a
 	// custom machine (table9, fig12, ...) is pinned by options().
-	Mode core.ExecMode
+	Mode core.ExecMode `json:"mode"`
 }
 
 // DefaultParams is the full harness configuration.
@@ -44,7 +52,31 @@ type Experiment struct {
 	// Paper summarizes what the paper's version shows, for side-by-side
 	// comparison in EXPERIMENTS.md.
 	Paper string
-	Run   func(p Params) (string, error)
+	// run renders the experiment's paper-layout text, executing every
+	// configuration through the Exec so it lands in the Report.
+	run func(x *Exec) (string, error)
+}
+
+// Run executes the experiment through the shared Runner and returns the
+// structured Report: per-config result summaries plus the rendered text.
+// Configurations already simulated by r — by this experiment or any
+// other — are served from its cache.
+func (e Experiment) Run(r *Runner, p Params) (*Report, error) {
+	x := &Exec{R: r, P: p}
+	start := time.Now()
+	text, err := e.run(x)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return &Report{
+		ID:      e.ID,
+		Title:   e.Title,
+		Paper:   e.Paper,
+		Params:  p,
+		Configs: x.configs,
+		Text:    text,
+		Elapsed: time.Since(start).Seconds(),
+	}, nil
 }
 
 // strongBodies is the default stand-in for the paper's 2M-body strong
@@ -87,15 +119,6 @@ func (p Params) steps() (int, int) {
 		return p.Steps, p.Warmup
 	}
 	return 4, 2
-}
-
-// runOne executes a single configuration and returns its result.
-func runOne(opts core.Options) (*core.Result, error) {
-	sim, err := core.New(opts)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
 }
 
 // options builds the standard options for an experiment configuration.
@@ -206,22 +229,26 @@ func fmtTime(v float64) string {
 }
 
 // strongScalingTable runs one optimization level across the strong
-// scaling thread counts.
-func strongScalingTable(p Params, level core.Level, title string, machineFor func(threads int) *machine.Machine) (*PhaseTable, error) {
+// scaling thread counts; the per-thread-count configurations are
+// independent, so they execute concurrently on the Runner's pool.
+func strongScalingTable(x *Exec, level core.Level, title string, machineFor func(threads int) *machine.Machine) (*PhaseTable, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads(strongThreads)
 	pt := &PhaseTable{Title: title, Threads: threads}
-	for _, th := range threads {
+	opts := make([]core.Options, len(threads))
+	for i, th := range threads {
 		var m *machine.Machine
 		if machineFor != nil {
 			m = machineFor(th)
 		}
-		res, err := runOne(options(p, n, th, level, m))
-		if err != nil {
-			return nil, fmt.Errorf("%s at %d threads: %w", title, th, err)
-		}
-		pt.Results = append(pt.Results, res)
+		opts[i] = options(p, n, th, level, m)
 	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	pt.Results = results
 	return pt, nil
 }
 
@@ -230,8 +257,8 @@ func tableExperiment(id, title, paper string, level core.Level, machineFor func(
 		ID:    id,
 		Title: title,
 		Paper: paper,
-		Run: func(p Params) (string, error) {
-			pt, err := strongScalingTable(p, level, title, machineFor)
+		run: func(x *Exec) (string, error) {
+			pt, err := strongScalingTable(x, level, title, machineFor)
 			if err != nil {
 				return "", err
 			}

@@ -12,6 +12,17 @@ func tinyParams() Params {
 	return Params{Scale: 0.05, MaxThreads: 8, Steps: 2, Warmup: 1}
 }
 
+// runText executes one experiment on a fresh Runner and returns the
+// rendered text, for tests that only care about the layout.
+func runText(t *testing.T, e Experiment, p Params) string {
+	t.Helper()
+	rep, err := e.Run(NewRunner(0), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Text
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
@@ -21,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 	got := map[string]bool{}
 	for _, e := range All() {
 		got[e.ID] = true
-		if e.Title == "" || e.Paper == "" || e.Run == nil {
+		if e.Title == "" || e.Paper == "" || e.run == nil {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
@@ -49,10 +60,7 @@ func TestTableExperimentRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(tinyParams())
-	if err != nil {
-		t.Fatal(err)
-	}
+	out := runText(t, e, tinyParams())
 	for _, phase := range []string{"Tree-building", "Force Comp.", "Total"} {
 		if !strings.Contains(out, phase) {
 			t.Errorf("output missing row %q:\n%s", phase, out)
@@ -63,10 +71,7 @@ func TestTableExperimentRuns(t *testing.T) {
 		t.Errorf("table5 should include the c-of-m row")
 	}
 	e8, _ := ByID("table8")
-	out8, err := e8.Run(tinyParams())
-	if err != nil {
-		t.Fatal(err)
-	}
+	out8 := runText(t, e8, tinyParams())
 	if strings.Contains(out8, "C-of-m") {
 		t.Errorf("table8 should drop the c-of-m row (merged into tree building)")
 	}
@@ -77,40 +82,52 @@ func TestTableExperimentRuns(t *testing.T) {
 
 func TestFigureExperimentsRun(t *testing.T) {
 	p := tinyParams()
+	r := NewRunner(0)
 	for _, id := range []string{"fig8", "fig10", "fig11", "fig12"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := e.Run(p)
+		rep, err := e.Run(r, p)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		if len(out) < 100 {
-			t.Errorf("%s output suspiciously short:\n%s", id, out)
+		if len(rep.Text) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", id, rep.Text)
+		}
+		if len(rep.Configs) == 0 {
+			t.Errorf("%s report records no configs", id)
 		}
 	}
 }
 
 // TestEveryRunnerExecutes smokes every remaining registry entry at a
-// minimal workload, so a broken runner cannot hide until bench time.
+// minimal workload, so a broken experiment cannot hide until bench time.
+// All experiments share one Runner, exactly as bhbench -exp all does.
 func TestEveryRunnerExecutes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow: runs every experiment")
 	}
 	p := Params{Scale: 0.02, MaxThreads: 4, Steps: 2, Warmup: 1}
+	r := NewRunner(0)
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out, err := e.Run(p)
+			rep, err := e.Run(r, p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(out) < 50 {
-				t.Errorf("output suspiciously short:\n%s", out)
+			if len(rep.Text) < 50 {
+				t.Errorf("output suspiciously short:\n%s", rep.Text)
 			}
 		})
 	}
+	s := r.Stats()
+	if s.Hits == 0 {
+		t.Errorf("no cache hits across the full registry: %+v", s)
+	}
+	t.Logf("runner stats over all experiments: %d runs, %d hits (%.0f%% dedup)",
+		s.Runs, s.Hits, 100*s.DedupFraction())
 }
 
 // TestModeComparisonExperiment: the ext-native experiment must print
@@ -120,10 +137,7 @@ func TestModeComparisonExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := e.Run(tinyParams())
-	if err != nil {
-		t.Fatal(err)
-	}
+	out := runText(t, e, tinyParams())
 	for _, want := range []string{"sim t(s)", "wall t(s)", "Force Comp.", "Total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
@@ -132,7 +146,8 @@ func TestModeComparisonExperiment(t *testing.T) {
 }
 
 func TestPhaseTableCSV(t *testing.T) {
-	pt, err := strongScalingTable(tinyParams(), core.LevelSubspace, "t", nil)
+	x := &Exec{R: NewRunner(0), P: tinyParams()}
+	pt, err := strongScalingTable(x, core.LevelSubspace, "t", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,6 +158,14 @@ func TestPhaseTableCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "threads,") {
 		t.Errorf("CSV header: %s", lines[0])
+	}
+	// Each data row: threads + NumPhases + total columns, and the row's
+	// total must be the sum the Format() table prints.
+	for i, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 2+int(core.NumPhases) {
+			t.Errorf("row %d has %d columns, want %d: %s", i, len(cols), 2+int(core.NumPhases), line)
+		}
 	}
 }
 

@@ -15,24 +15,25 @@ func extensionExperiments() []Experiment {
 			ID:    "ext-cache",
 			Title: "Extension: transparent runtime cache vs manual caching (§8)",
 			Paper: "the paper suspects MuPC/Berkeley-style transparent caching 'is unlikely to help the performance of more complex UPC codes'; this ablation quantifies the gap to §5.3 manual caching",
-			Run:   runExtCache,
+			run:   runExtCache,
 		},
 		{
 			ID:    "ext-mpi",
 			Title: "Extension: MPI locally-essential-tree code vs fully optimized UPC (§9)",
 			Paper: "§9 future work: 'We suspect that, with all these changes, the UPC code is as efficient as a similar MPI code' — the comparison the authors planned",
-			Run:   runExtMPI,
+			run:   runExtMPI,
 		},
 		{
 			ID:    "ext-native",
 			Title: "Extension: Simulate vs Native backend, same configuration",
 			Paper: "beyond the paper: the same UPC Barnes-Hut code run as a real parallel program on this host (ModeNative) vs the simulated Power5 cluster (ModeSimulate); per-phase simulated and wall-clock times side by side",
-			Run:   runModeComparison,
+			run:   runModeComparison,
 		},
 	}
 }
 
-func runExtCache(p Params) (string, error) {
+func runExtCache(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads([]int{1, 2, 4, 8, 16, 32, 64})
 	configs := []struct {
@@ -46,19 +47,25 @@ func runExtCache(p Params) (string, error) {
 		}},
 		{"manual caching (L3, §5.3)", func(o *core.Options) { o.Level = core.LevelCacheTree }},
 	}
-	var ss []series
+	opts := make([]core.Options, 0, len(configs)*len(threads))
 	for _, cfg := range configs {
-		s := series{label: cfg.label}
 		for _, th := range threads {
-			opts := options(p, n, th, core.LevelRedistribute, nil)
+			o := options(p, n, th, core.LevelRedistribute, nil)
 			// The transparent cache's effect is entirely simulated-cost
 			// savings, so this ablation is simulate-only (as is ext-mpi).
-			opts.ExecMode = core.ModeSimulate
-			cfg.mut(&opts)
-			res, err := runOne(opts)
-			if err != nil {
-				return "", err
-			}
+			o.ExecMode = core.ModeSimulate
+			cfg.mut(&o)
+			opts = append(opts, o)
+		}
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+	var ss []series
+	for ci, cfg := range configs {
+		s := series{label: cfg.label}
+		for _, res := range results[ci*len(threads) : (ci+1)*len(threads)] {
 			s.vals = append(s.vals, res.Phases[core.PhaseForce])
 		}
 		ss = append(ss, s)
@@ -69,24 +76,31 @@ func runExtCache(p Params) (string, error) {
 	return out, nil
 }
 
-func runExtMPI(p Params) (string, error) {
+func runExtMPI(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads([]int{1, 2, 4, 8, 16, 32, 64})
-	upcS := series{label: "UPC, all optimizations (L6)"}
-	mpiS := series{label: "MPI, locally essential trees"}
 	steps, warmup := p.steps()
-	for _, th := range threads {
-		opts := options(p, n, th, core.LevelSubspace, nil)
+	opts := make([]core.Options, len(threads))
+	for i, th := range threads {
+		o := options(p, n, th, core.LevelSubspace, nil)
 		// The MPI emulation is simulate-only, so pin the UPC side to the
 		// same backend regardless of Params.Mode — mixing wall-clock and
 		// simulated columns would be meaningless.
-		opts.ExecMode = core.ModeSimulate
-		res, err := runOne(opts)
-		if err != nil {
-			return "", err
-		}
-		upcS.vals = append(upcS.vals, res.Total())
+		o.ExecMode = core.ModeSimulate
+		opts[i] = o
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+	upcS := series{label: "UPC, all optimizations (L6)"}
+	mpiS := series{label: "MPI, locally essential trees"}
+	for i, th := range threads {
+		upcS.vals = append(upcS.vals, results[i].Total())
 
+		// The MPI side runs its own emulated runtime outside the Runner's
+		// core.Options cache; it is cheap relative to the UPC sweep.
 		mres, err := mpibh.Run(mpibh.Options{
 			Bodies: n, Ranks: th, Steps: steps, Warmup: warmup,
 			Theta: 1.0, Eps: 0.05, Dt: 0.025, Seed: 123,

@@ -26,53 +26,53 @@ func figureExperiments() []Experiment {
 			ID:    "fig5",
 			Title: "Figure 5: speed-up of cumulative optimizations (log scale)",
 			Paper: "each added optimization lifts the curve; the full stack reaches ~81x at 112 threads while the baseline never speeds up",
-			Run:   runFig5,
+			run:   runFig5,
 		},
 		{
 			ID:    "fig6",
 			Title: "Figure 6: time per phase at the maximum thread count, by optimization level",
 			Paper: "force computation shrinks from ~3172s to ~1.6s across levels; with everything applied it is ~82% of a much smaller total",
-			Run:   runFig6,
+			run:   runFig6,
 		},
 		{
 			ID:    "fig7",
 			Title: "Figure 7: weak scaling before the subspace algorithm (merged build + async force)",
 			Paper: "all phases scale except tree-building, which grows with threads and dominates beyond ~512 threads",
-			Run:   runFig7,
+			run:   runFig7,
 		},
 		{
 			ID:    "fig8",
 			Title: "Figure 8: per-thread tree-building time split (local build vs merge)",
 			Paper: "local tree building is balanced and cheap (<0.5s); merge time varies 0..26s across threads — the losers of merge conflicts pay",
-			Run:   runFig8,
+			run:   runFig8,
 		},
 		{
 			ID:    "fig10",
 			Title: "Figure 10: weak scaling, subspace build WITHOUT vector reduction",
 			Paper: "per-subspace scalar reductions make tree-building cost blow up as threads grow",
-			Run: func(p Params) (string, error) {
-				return runWeakSubspace(p, false)
+			run: func(x *Exec) (string, error) {
+				return runWeakSubspace(x, false)
 			},
 		},
 		{
 			ID:    "fig11",
 			Title: "Figure 11: weak scaling, subspace build WITH vector reduction",
 			Paper: "one vector reduction per level: tree-building scales smoothly",
-			Run: func(p Params) (string, error) {
-				return runWeakSubspace(p, true)
+			run: func(x *Exec) (string, error) {
+				return runWeakSubspace(x, true)
 			},
 		},
 		{
 			ID:    "fig12",
 			Title: "Figure 12: weak scaling with varying threads per node",
 			Paper: "fewer nodes for equal threads is slightly better; process mode beats -pthreads by ~50%",
-			Run:   runFig12,
+			run:   runFig12,
 		},
 		{
 			ID:    "fig13",
 			Title: "Figure 13: strong scaling speed-up, all optimizations",
 			Paper: "near-linear speedup with an inflection where bodies/thread drops to ~4K",
-			Run:   runFig13,
+			run:   runFig13,
 		},
 	}
 }
@@ -120,23 +120,28 @@ func formatSeries(title, yname string, xs []int, ss []series) string {
 	return b.String()
 }
 
-func runFig5(p Params) (string, error) {
+func runFig5(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads(strongThreads)
-	var ss []series
+	opts := make([]core.Options, 0, len(allLevels)*len(threads))
 	for _, level := range allLevels {
-		base := 0.0
-		s := series{label: level.String()}
 		for _, th := range threads {
-			res, err := runOne(options(p, n, th, level, nil))
-			if err != nil {
-				return "", err
-			}
-			if th == threads[0] {
-				// Estimated single-thread time (exact when the sweep
-				// starts at 1 thread, as the defaults do).
-				base = res.Total() * float64(threads[0])
-			}
+			opts = append(opts, options(p, n, th, level, nil))
+		}
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+	var ss []series
+	for li, level := range allLevels {
+		row := results[li*len(threads) : (li+1)*len(threads)]
+		// Estimated single-thread time (exact when the sweep starts at 1
+		// thread, as the defaults do).
+		base := row[0].Total() * float64(threads[0])
+		s := series{label: level.String()}
+		for _, res := range row {
 			s.vals = append(s.vals, base/res.Total())
 		}
 		ss = append(ss, s)
@@ -144,10 +149,19 @@ func runFig5(p Params) (string, error) {
 	return formatSeries("Figure 5: speed-up vs same-level single thread", "speedup", threads, ss), nil
 }
 
-func runFig6(p Params) (string, error) {
+func runFig6(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads(strongThreads)
 	th := threads[len(threads)-1]
+	opts := make([]core.Options, len(allLevels))
+	for i, level := range allLevels {
+		opts[i] = options(p, n, th, level, nil)
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 6: per-phase simulated time at %d threads, by optimization level\n", th)
 	fmt.Fprintf(&b, "%-16s", "phase \\ level")
@@ -155,14 +169,6 @@ func runFig6(p Params) (string, error) {
 		fmt.Fprintf(&b, "%13s", level.String())
 	}
 	b.WriteByte('\n')
-	results := make([]*core.Result, len(allLevels))
-	for i, level := range allLevels {
-		res, err := runOne(options(p, n, th, level, nil))
-		if err != nil {
-			return "", err
-		}
-		results[i] = res
-	}
 	for ph := core.Phase(0); ph < core.NumPhases; ph++ {
 		fmt.Fprintf(&b, "%-16s", ph.String())
 		for _, r := range results {
@@ -180,24 +186,25 @@ func runFig6(p Params) (string, error) {
 
 // weakTable runs a weak-scaling sweep at a fixed level and returns the
 // per-phase series over thread counts.
-func weakTable(p Params, level core.Level, mut func(*core.Options), machineFor func(int) *machine.Machine) ([]int, []*core.Result, error) {
+func weakTable(x *Exec, level core.Level, mut func(*core.Options), machineFor func(int) *machine.Machine) ([]int, []*core.Result, error) {
+	p := x.P
 	per := p.bodies(weakPerThread)
 	threads := p.threads(weakThreads)
-	var results []*core.Result
-	for _, th := range threads {
+	opts := make([]core.Options, len(threads))
+	for i, th := range threads {
 		var m *machine.Machine
 		if machineFor != nil {
 			m = machineFor(th)
 		}
-		opts := options(p, per*th, th, level, m)
+		o := options(p, per*th, th, level, m)
 		if mut != nil {
-			mut(&opts)
+			mut(&o)
 		}
-		res, err := runOne(opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		results = append(results, res)
+		opts[i] = o
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return nil, nil, err
 	}
 	return threads, results, nil
 }
@@ -218,24 +225,25 @@ func phaseSeries(threads []int, results []*core.Result, phases []core.Phase) []s
 	return append(ss, tot)
 }
 
-func runFig7(p Params) (string, error) {
-	threads, results, err := weakTable(p, core.LevelAsync, nil, nil)
+func runFig7(x *Exec) (string, error) {
+	threads, results, err := weakTable(x, core.LevelAsync, nil, nil)
 	if err != nil {
 		return "", err
 	}
 	ss := phaseSeries(threads, results, phaseRows(core.LevelAsync))
 	return formatSeries(
-		fmt.Sprintf("Figure 7: weak scaling, %d bodies/thread, merged build + async force", p.bodies(weakPerThread)),
+		fmt.Sprintf("Figure 7: weak scaling, %d bodies/thread, merged build + async force", x.P.bodies(weakPerThread)),
 		"t(s)", threads, ss), nil
 }
 
-func runFig8(p Params) (string, error) {
+func runFig8(x *Exec) (string, error) {
+	p := x.P
 	th := 128
 	if p.MaxThreads > 0 && th > p.MaxThreads {
 		th = p.MaxThreads
 	}
 	per := p.bodies(weakPerThread)
-	res, err := runOne(options(p, per*th, th, core.LevelAsync, nil))
+	res, err := x.runOne(options(p, per*th, th, core.LevelAsync, nil))
 	if err != nil {
 		return "", err
 	}
@@ -267,8 +275,8 @@ func runFig8(p Params) (string, error) {
 	return b.String(), nil
 }
 
-func runWeakSubspace(p Params, vectorReduce bool) (string, error) {
-	threads, results, err := weakTable(p, core.LevelSubspace,
+func runWeakSubspace(x *Exec, vectorReduce bool) (string, error) {
+	threads, results, err := weakTable(x, core.LevelSubspace,
 		func(o *core.Options) { o.VectorReduce = vectorReduce }, nil)
 	if err != nil {
 		return "", err
@@ -282,11 +290,11 @@ func runWeakSubspace(p Params, vectorReduce bool) (string, error) {
 	}
 	return formatSeries(
 		fmt.Sprintf("%s: weak scaling, subspace build %s vector reduction, %d bodies/thread",
-			fig, mode, p.bodies(weakPerThread)),
+			fig, mode, x.P.bodies(weakPerThread)),
 		"t(s)", threads, ss), nil
 }
 
-func runFig12(p Params) (string, error) {
+func runFig12(x *Exec) (string, error) {
 	configs := []struct {
 		label    string
 		perNode  int
@@ -298,21 +306,28 @@ func runFig12(p Params) (string, error) {
 		{"16 threads/node (pthreads)", 16, true},
 		{"1 process/node (no pthreads)", 1, false},
 	}
+	p := x.P
 	per := p.bodies(weakPerThread)
 	threads := p.threads(weakThreads)
-	var ss []series
+	opts := make([]core.Options, 0, len(configs)*len(threads))
 	for _, cfg := range configs {
-		s := series{label: cfg.label}
 		for _, th := range threads {
 			perNode := cfg.perNode
 			if perNode > th {
 				perNode = th
 			}
 			m := machine.MustNew(th, perNode, cfg.pthreads, machine.Power5())
-			res, err := runOne(options(p, per*th, th, core.LevelSubspace, m))
-			if err != nil {
-				return "", err
-			}
+			opts = append(opts, options(p, per*th, th, core.LevelSubspace, m))
+		}
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+	var ss []series
+	for ci, cfg := range configs {
+		s := series{label: cfg.label}
+		for _, res := range results[ci*len(threads) : (ci+1)*len(threads)] {
 			s.vals = append(s.vals, res.Total())
 		}
 		ss = append(ss, s)
@@ -322,22 +337,24 @@ func runFig12(p Params) (string, error) {
 		"t(s)", threads, ss), nil
 }
 
-func runFig13(p Params) (string, error) {
+func runFig13(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(4 * strongBodies) // larger problem so the inflection is visible
 	threads := p.threads(strongThreads)
-	var base float64
+	opts := make([]core.Options, len(threads))
+	for i, th := range threads {
+		opts[i] = options(p, n, th, core.LevelSubspace, nil)
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+	base := results[0].Total() * float64(threads[0])
 	s := series{label: "subspace (all opts)"}
 	ideal := series{label: "ideal"}
-	for i, th := range threads {
-		res, err := runOne(options(p, n, th, core.LevelSubspace, nil))
-		if err != nil {
-			return "", err
-		}
-		if i == 0 {
-			base = res.Total() * float64(th)
-		}
+	for i, res := range results {
 		s.vals = append(s.vals, base/res.Total())
-		ideal.vals = append(ideal.vals, float64(th))
+		ideal.vals = append(ideal.vals, float64(threads[i]))
 	}
 	out := formatSeries(
 		fmt.Sprintf("Figure 13: strong scaling speed-up, %d bodies (inflection expected near %d bodies/thread)", n, 4096),

@@ -12,7 +12,8 @@ import (
 // side by side: the Simulate column is the paper's modelled Power5
 // cluster, the Native column is this machine running the identical
 // algorithm at hardware speed.
-func runModeComparison(p Params) (string, error) {
+func runModeComparison(x *Exec) (string, error) {
+	p := x.P
 	n := p.bodies(strongBodies)
 	threads := p.threads([]int{1, 2, 4, 8})
 	level := core.LevelSubspace
@@ -21,15 +22,18 @@ func runModeComparison(p Params) (string, error) {
 	fmt.Fprintf(&b, "Extension: Simulate (modelled Power5 cluster) vs Native (this host), %d bodies, level %s\n\n", n, level)
 
 	for _, th := range threads {
+		// The pairs run sequentially on purpose: the Runner serializes
+		// each native run exclusively anyway, so batching would only
+		// reorder the simulate halves.
 		simOpts := options(p, n, th, level, nil)
 		simOpts.ExecMode = core.ModeSimulate
-		simRes, err := runOne(simOpts)
+		simRes, err := x.runOne(simOpts)
 		if err != nil {
 			return "", fmt.Errorf("simulate at %d threads: %w", th, err)
 		}
 		natOpts := options(p, n, th, level, nil)
 		natOpts.ExecMode = core.ModeNative
-		natRes, err := runOne(natOpts)
+		natRes, err := x.runOne(natOpts)
 		if err != nil {
 			return "", fmt.Errorf("native at %d threads: %w", th, err)
 		}

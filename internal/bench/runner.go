@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"upcbh/internal/core"
+)
+
+// Runner executes simulation configurations for the experiment harness
+// with two properties the naive per-experiment loop lacks:
+//
+//   - Memoization: configurations are canonicalized via Options.Key, and
+//     each unique configuration simulates exactly once no matter how many
+//     tables/figures request it (the strong-scaling tables and the
+//     speedup/efficiency figures largely share configs). Concurrent
+//     requests for the same key coalesce onto one execution.
+//   - Bounded parallelism: independent ModeSimulate configurations run
+//     concurrently on a worker pool sized to the host's cores. ModeNative
+//     configurations measure real wall-clock phase times, so they take the
+//     pool exclusively — no simulation may co-run and pollute the timing.
+//
+// A Runner is safe for concurrent use and is normally shared across every
+// experiment of a bhbench invocation.
+type Runner struct {
+	sem chan struct{} // worker-pool slots for simulate-mode runs
+	// excl is held shared by simulate runs and exclusively by native
+	// runs, serializing wall-clock measurements against everything else.
+	excl sync.RWMutex
+
+	// Progress, if non-nil, receives one streamed line per cache event
+	// (miss/start, hit). Set it before the first Run call.
+	Progress func(format string, args ...any)
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	stats RunnerStats
+
+	// exec performs one uncached run; tests substitute a counting stub.
+	exec func(core.Options) (*core.Result, error)
+}
+
+// RunnerStats reports the cache effectiveness of a Runner.
+type RunnerStats struct {
+	Runs       int `json:"runs"`        // unique configurations executed
+	Hits       int `json:"cache_hits"`  // requests served from the cache (incl. coalesced in-flight)
+	NativeRuns int `json:"native_runs"` // subset of Runs executed exclusively in ModeNative
+}
+
+// Requests returns the total number of Run calls the stats describe.
+func (s RunnerStats) Requests() int { return s.Runs + s.Hits }
+
+// DedupFraction returns the fraction of requests served without a new
+// simulation (0 when nothing has run).
+func (s RunnerStats) DedupFraction() float64 {
+	if s.Requests() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests())
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err are valid
+	res  *core.Result
+	err  error
+}
+
+// NewRunner builds a Runner with the given worker-pool width; workers <= 0
+// means one worker per host core.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:   make(chan struct{}, workers),
+		cache: make(map[string]*cacheEntry),
+		exec:  execRun,
+	}
+}
+
+// execRun is the real execution path: build the simulation and run it.
+// The final body state is dropped before the result enters the cache: no
+// experiment reads it, reports never serialize it, and at full scale it
+// dwarfs every timing field combined — pinning it for the whole bhbench
+// invocation would grow memory linearly with -scale.
+func execRun(opts core.Options) (*core.Result, error) {
+	sim, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Bodies = nil
+	return res, nil
+}
+
+// Workers returns the worker-pool width.
+func (r *Runner) Workers() int { return cap(r.sem) }
+
+// Stats returns a snapshot of the cache counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}
+
+// describe renders a configuration for progress lines and error context.
+// Nil machines are tolerated: exec surfaces the validation error.
+func describe(opts core.Options) string {
+	threads := 0
+	if opts.Machine != nil {
+		threads = opts.Machine.Threads
+	}
+	return fmt.Sprintf("n=%d threads=%d level=%s mode=%s", opts.Bodies, threads, opts.Level, opts.ExecMode)
+}
+
+// Run executes one configuration, deduplicating against every
+// configuration this Runner has already seen. The returned hit flag
+// reports whether the result came from the cache (including coalescing
+// onto a concurrently in-flight execution of the same key).
+func (r *Runner) Run(opts core.Options) (res *core.Result, hit bool, err error) {
+	key := opts.Key()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.Hits++
+		r.mu.Unlock()
+		r.logf("cache hit: %s", describe(opts))
+		<-e.done
+		return e.res, true, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.stats.Runs++
+	if opts.ExecMode == core.ModeNative {
+		r.stats.NativeRuns++
+	}
+	r.mu.Unlock()
+
+	if opts.ExecMode == core.ModeNative {
+		// Exclusive: wait out all in-flight simulations, admit no new ones,
+		// so the measured wall-clock phases see an otherwise idle host.
+		r.excl.Lock()
+		r.logf("run (native, exclusive): %s", describe(opts))
+		e.res, e.err = r.exec(opts)
+		r.excl.Unlock()
+	} else {
+		r.excl.RLock()
+		r.sem <- struct{}{}
+		r.logf("run: %s", describe(opts))
+		e.res, e.err = r.exec(opts)
+		<-r.sem
+		r.excl.RUnlock()
+	}
+	close(e.done)
+	return e.res, false, e.err
+}
+
+// RunAll executes a batch of independent configurations concurrently
+// (each bounded by the worker pool and deduplicated via the cache) and
+// returns the results in input order, with the per-config hit flags. The
+// first error wins, but all runs are waited for.
+func (r *Runner) RunAll(opts []core.Options) ([]*core.Result, []bool, error) {
+	results := make([]*core.Result, len(opts))
+	hits := make([]bool, len(opts))
+	errs := make([]error, len(opts))
+	var wg sync.WaitGroup
+	for i := range opts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], hits[i], errs[i] = r.Run(opts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", describe(opts[i]), err)
+		}
+	}
+	return results, hits, nil
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"upcbh/internal/core"
+)
+
+// stubExec installs a fast fake execution path that fabricates a Result
+// from the options and counts real executions per key.
+func stubExec(r *Runner) *atomic.Int64 {
+	var execs atomic.Int64
+	r.exec = func(o core.Options) (*core.Result, error) {
+		execs.Add(1)
+		res := &core.Result{Level: o.Level, Threads: o.Machine.Threads, ExecMode: o.ExecMode}
+		// Nonzero, option-dependent phases so figure math (speedups) works.
+		res.Phases[core.PhaseForce] = float64(o.Bodies) / float64(o.Machine.Threads)
+		res.Phases[core.PhaseTree] = 0.01
+		res.PerThread = make([]core.ThreadBreakdown, o.Machine.Threads)
+		return res, nil
+	}
+	return &execs
+}
+
+// TestRunnerDedupsAcrossExperiments is the core cache property: configs
+// shared between experiments (the strong-scaling tables and the speedup
+// figures overlap heavily) simulate exactly once per unique key.
+func TestRunnerDedupsAcrossExperiments(t *testing.T) {
+	r := NewRunner(4)
+	execs := stubExec(r)
+	p := DefaultParams()
+
+	// table2..table8 all sweep the same (bodies, threads) grid at one
+	// level each; fig5 sweeps every level over the same grid and fig6
+	// repeats the max-thread column. Everything fig5/fig6 needs is
+	// already cached by the tables.
+	ids := []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "fig5", "fig6"}
+	uniq := map[string]bool{}
+	requests := 0
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range rep.Configs {
+			uniq[c.Key] = true
+			requests++
+		}
+	}
+	s := r.Stats()
+	if got := int(execs.Load()); got != len(uniq) {
+		t.Errorf("executed %d simulations for %d unique configs", got, len(uniq))
+	}
+	if s.Runs != len(uniq) {
+		t.Errorf("stats.Runs = %d, want %d unique configs", s.Runs, len(uniq))
+	}
+	if s.Hits != requests-len(uniq) {
+		t.Errorf("stats.Hits = %d, want %d", s.Hits, requests-len(uniq))
+	}
+	// fig5 and fig6 alone re-request every tabled config: dedup must be
+	// substantial, not incidental.
+	if s.DedupFraction() < 0.3 {
+		t.Errorf("dedup fraction %.2f below 0.3 (%d runs, %d hits)", s.DedupFraction(), s.Runs, s.Hits)
+	}
+}
+
+// TestRunnerCoalescesInFlight: concurrent requests for the same key must
+// share one execution, not race to run it twice.
+func TestRunnerCoalescesInFlight(t *testing.T) {
+	r := NewRunner(8)
+	execs := stubExec(r)
+	inner := r.exec
+	r.exec = func(o core.Options) (*core.Result, error) {
+		time.Sleep(10 * time.Millisecond) // hold the entry in flight
+		return inner(o)
+	}
+	opts := make([]core.Options, 16)
+	for i := range opts {
+		opts[i] = core.DefaultOptions(2048, 2, core.LevelAsync) // identical key
+	}
+	results, hits, err := r.RunAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("%d executions for 16 identical requests", got)
+	}
+	misses := 0
+	for i, h := range hits {
+		if !h {
+			misses++
+		}
+		if results[i] != results[0] {
+			t.Errorf("request %d got a different result object", i)
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d cache misses, want exactly 1", misses)
+	}
+}
+
+// TestRunnerNativeExclusive: a ModeNative run must never overlap a
+// simulate-mode run (its wall-clock phase timings would be polluted).
+func TestRunnerNativeExclusive(t *testing.T) {
+	r := NewRunner(8)
+	var simInFlight, violations atomic.Int64
+	r.exec = func(o core.Options) (*core.Result, error) {
+		if o.ExecMode == core.ModeNative {
+			if simInFlight.Load() != 0 {
+				violations.Add(1)
+			}
+		} else {
+			simInFlight.Add(1)
+			defer simInFlight.Add(-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+		return &core.Result{Level: o.Level, Threads: o.Machine.Threads, ExecMode: o.ExecMode}, nil
+	}
+	var opts []core.Options
+	for n := 0; n < 24; n++ {
+		o := core.DefaultOptions(256+n, 2, core.LevelAsync) // unique keys
+		if n%4 == 0 {
+			o.ExecMode = core.ModeNative
+		}
+		opts = append(opts, o)
+	}
+	if _, _, err := r.RunAll(opts); err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d native runs overlapped a simulation", v)
+	}
+	if s := r.Stats(); s.NativeRuns != 6 {
+		t.Errorf("NativeRuns = %d, want 6", s.NativeRuns)
+	}
+}
+
+// TestParallelMatchesSerial: parallel harness execution must not change
+// simulate-mode results. Single-UPC-thread simulations are bit-exact
+// deterministic (no lock or NIC races — the property the 1-thread
+// goldens rely on), so their rendered tables must be byte-identical
+// between a 1-worker and a many-worker Runner.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := func(workers int) string {
+		r := NewRunner(workers)
+		x := &Exec{R: r, P: Params{Scale: 1}}
+		var opts []core.Options
+		for level := core.LevelBaseline; level < core.NumLevels; level++ {
+			o := core.DefaultOptions(512, 1, level)
+			o.Steps, o.Warmup = 2, 1
+			opts = append(opts, o)
+		}
+		results, err := x.runAll(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i, res := range results {
+			pt := PhaseTable{Title: core.Level(i).String(), Threads: []int{1}, Results: []*core.Result{res}}
+			b.WriteString(pt.Format())
+			b.WriteString(pt.CSV())
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("parallel tables differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestReportJSONRoundTrip: the -json serialization contract. A report
+// marshals, unmarshals, and preserves identification, config keys, and
+// phase times exactly (float64s survive via Go's shortest-round-trip
+// encoding).
+func TestReportJSONRoundTrip(t *testing.T) {
+	e, err := ByID("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(0)
+	rep, err := e.Run(r, tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.ID != rep.ID || got.Title != rep.Title || got.Text != rep.Text {
+		t.Errorf("identification lost in round trip")
+	}
+	if len(got.Configs) != len(rep.Configs) {
+		t.Fatalf("configs: %d != %d", len(got.Configs), len(rep.Configs))
+	}
+	for i := range got.Configs {
+		if got.Configs[i].Key != rep.Configs[i].Key {
+			t.Errorf("config %d key changed", i)
+		}
+		if got.Configs[i].Options.Key() != rep.Configs[i].Key {
+			t.Errorf("config %d options no longer reproduce their key", i)
+		}
+		if got.Configs[i].Phases != rep.Configs[i].Phases {
+			t.Errorf("config %d phases drifted: %v != %v", i, got.Configs[i].Phases, rep.Configs[i].Phases)
+		}
+	}
+
+	// And the whole trajectory document round-trips too.
+	traj := &Trajectory{Params: rep.Params, Runner: r.Stats(), Reports: []*Report{rep}}
+	raw, err = traj.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gt Trajectory
+	if err := json.Unmarshal(raw, &gt); err != nil {
+		t.Fatalf("trajectory unmarshal: %v", err)
+	}
+	if gt.Runner != traj.Runner || len(gt.Reports) != 1 || gt.Reports[0].ID != rep.ID {
+		t.Errorf("trajectory round trip lost data")
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"upcbh/internal/machine"
@@ -140,43 +141,66 @@ func ParseLevel(s string) (Level, error) {
 	return 0, fmt.Errorf("core: unknown optimization level %q", s)
 }
 
-// Options configures one simulation run.
-type Options struct {
-	Bodies int
-	Steps  int // total time-steps to run
-	Warmup int // steps excluded from timing (the paper runs 4, measures the last 2)
+// MarshalJSON encodes the level as its short name, keeping serialized
+// reports readable and stable if the level enumeration is ever reordered.
+func (l Level) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
 
-	Theta float64 // opening criterion (SPLASH2 default 1.0)
-	Eps   float64 // potential softening (SPLASH2 default 0.05)
-	Dt    float64 // time-step (SPLASH2 default 0.025)
-	Seed  uint64
+// UnmarshalJSON decodes a short name back into a Level.
+func (l *Level) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseLevel(s)
+	if err != nil {
+		return err
+	}
+	*l = parsed
+	return nil
+}
+
+// Options configures one simulation run. The JSON field tags are the
+// stable serialization contract used by the bench harness's reports.
+type Options struct {
+	Bodies int `json:"bodies"`
+	Steps  int `json:"steps"`  // total time-steps to run
+	Warmup int `json:"warmup"` // steps excluded from timing (the paper runs 4, measures the last 2)
+
+	Theta float64 `json:"theta"` // opening criterion (SPLASH2 default 1.0)
+	Eps   float64 `json:"eps"`   // potential softening (SPLASH2 default 0.05)
+	Dt    float64 `json:"dt"`    // time-step (SPLASH2 default 0.025)
+	Seed  uint64  `json:"seed"`
 
 	// ExecMode selects the execution backend (default ModeSimulate). The
 	// physics is mode-independent; only the timing policy changes.
-	ExecMode ExecMode
+	ExecMode ExecMode `json:"exec_mode"`
 
-	Level           Level
-	AliasLocalCells bool // §5.3.2: avoid copying cells that are already local
-	VectorReduce    bool // §6: vector (true) vs per-subspace scalar (false) reductions
-	N1, N2, N3      int  // §5.5 async framework parameters (default 4,4,4)
-	SubspaceAlpha   float64
+	Level           Level   `json:"level"`
+	AliasLocalCells bool    `json:"alias_local_cells"` // §5.3.2: avoid copying cells that are already local
+	VectorReduce    bool    `json:"vector_reduce"`     // §6: vector (true) vs per-subspace scalar (false) reductions
+	N1              int     `json:"n1"`                // §5.5 async framework parameters (default 4,4,4)
+	N2              int     `json:"n2"`
+	N3              int     `json:"n3"`
+	SubspaceAlpha   float64 `json:"subspace_alpha"`
 	// Verify enables per-step structural verification of the global
 	// octree (body uniqueness, exact cost sums, additive masses). For
 	// tests: it adds an extra barrier per step.
-	Verify bool
+	Verify bool `json:"verify,omitempty"`
 
 	// TransparentCache enables the §8-surveyed MuPC/Berkeley-style
 	// runtime software cache (barrier-invalidated, per-thread) for the
 	// read-only accesses of the naive force computation and for shared
 	// scalars. Only meaningful below LevelCacheTree; the ext-cache
 	// experiment compares it against the paper's manual caching.
-	TransparentCache bool
+	TransparentCache bool `json:"transparent_cache,omitempty"`
 
 	// testBufferCap overrides the §5.2 double-buffer capacity; tests use
 	// it to exercise the compaction path deterministically.
 	testBufferCap int
 
-	Machine *machine.Machine
+	Machine *machine.Machine `json:"machine"`
 }
 
 // DefaultOptions returns the SPLASH2/paper defaults for n bodies on
@@ -238,48 +262,53 @@ func (o *Options) validate() error {
 
 // ThreadBreakdown reports one thread's timing detail.
 type ThreadBreakdown struct {
-	Phases PhaseTimes // summed over measured steps
-	// Split of PhaseTree at LevelMergedBuild+ (figure 8): local tree
-	// construction vs merging into the global tree.
-	TreeLocal, TreeMerge float64
+	Phases PhaseTimes `json:"phases"` // summed over measured steps
+	// TreeLocal/TreeMerge split PhaseTree at LevelMergedBuild+ (figure
+	// 8): local tree construction vs merging into the global tree.
+	TreeLocal float64 `json:"tree_local"`
+	TreeMerge float64 `json:"tree_merge"`
 	// Interactions this thread computed during measured steps — the
 	// load that costzones / the subspace owner assignment balances.
-	Interactions uint64
+	Interactions uint64 `json:"interactions"`
 }
 
-// Result is the outcome of a simulation run.
+// Result is the outcome of a simulation run. The JSON field tags are the
+// stable serialization contract used by the bench harness's reports; the
+// raw body state is deliberately excluded from serialization.
 type Result struct {
-	Level   Level
-	Threads int
+	Level   Level `json:"level"`
+	Threads int   `json:"threads"`
 	// ExecMode records which backend produced the timings: simulated
 	// seconds (ModeSimulate) or measured wall-clock seconds (ModeNative).
-	ExecMode ExecMode
+	ExecMode ExecMode `json:"exec_mode"`
 
 	// Phases is the per-phase time: max over threads within each measured
 	// step, summed over measured steps — the quantity the paper's tables
 	// report (simulated in ModeSimulate, wall-clock in ModeNative).
-	Phases PhaseTimes
+	Phases PhaseTimes `json:"phases"`
 	// StepPhases is the same, per measured step.
-	StepPhases []PhaseTimes
+	StepPhases []PhaseTimes `json:"step_phases,omitempty"`
 	// PerThread is each thread's own accumulated phase times.
-	PerThread []ThreadBreakdown
+	PerThread []ThreadBreakdown `json:"per_thread,omitempty"`
 
-	Stats upc.Stats
+	Stats upc.Stats `json:"stats"`
 	// PhaseComm breaks the operation counters down by phase (aggregated
 	// over threads, measured steps only) — the communication profile the
 	// paper's per-phase analysis reasons about.
-	PhaseComm        [NumPhases]upc.Stats
-	Interactions     uint64
-	MigratedFraction float64 // bodies migrated per step / bodies, averaged over measured steps
-	BufferCopies     int     // §5.2 double-buffer compactions
+	PhaseComm        [NumPhases]upc.Stats `json:"phase_comm,omitempty"`
+	Interactions     uint64               `json:"interactions"`
+	MigratedFraction float64              `json:"migrated_fraction"` // bodies migrated per step / bodies, averaged over measured steps
+	BufferCopies     int                  `json:"buffer_copies"`     // §5.2 double-buffer compactions
 	// CellsCopied / CellsAliased count local-tree cache fills that copied
 	// a cell vs aliased an already-local cell via a shadow pointer
 	// (§5.3.1 vs §5.3.2).
-	CellsCopied, CellsAliased uint64
+	CellsCopied  uint64 `json:"cells_copied"`
+	CellsAliased uint64 `json:"cells_aliased"`
 
 	// Bodies is the final state of all bodies in ID order, for physics
-	// validation and the examples.
-	Bodies []nbody.Body
+	// validation and the examples. Excluded from JSON reports: at paper
+	// scales it dwarfs every other field combined.
+	Bodies []nbody.Body `json:"-"`
 }
 
 // Total returns the total simulated time over the measured steps.

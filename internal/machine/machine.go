@@ -19,7 +19,7 @@
 //
 // The Power5 preset is calibrated against the paper's absolute
 // single-thread numbers and its reported remote-access magnitudes; see
-// DESIGN.md for the calibration notes.
+// DESIGN.md §3 for the calibration notes.
 package machine
 
 import (
@@ -31,39 +31,39 @@ import (
 // Params holds the cost-model constants. All times are in seconds.
 type Params struct {
 	// Computation.
-	InteractionCost float64 // one body/cell gravity interaction (flops incl. sqrt)
-	BodyUpdateCost  float64 // one leapfrog position/velocity update
-	TreeLevelCost   float64 // descending one level during insertion
-	CellInitCost    float64 // creating/initializing one cell
-	ByteCopyCost    float64 // memcpy, per byte (local buffer copies, cell caching)
-	GPtrDerefCost   float64 // extra cost of dereferencing a pointer-to-shared that is local
-	LocalDerefCost  float64 // plain C pointer dereference
+	InteractionCost float64 `json:"interaction_cost"` // one body/cell gravity interaction (flops incl. sqrt)
+	BodyUpdateCost  float64 `json:"body_update_cost"` // one leapfrog position/velocity update
+	TreeLevelCost   float64 `json:"tree_level_cost"`  // descending one level during insertion
+	CellInitCost    float64 `json:"cell_init_cost"`   // creating/initializing one cell
+	ByteCopyCost    float64 `json:"byte_copy_cost"`   // memcpy, per byte (local buffer copies, cell caching)
+	GPtrDerefCost   float64 `json:"gptr_deref_cost"`  // extra cost of dereferencing a pointer-to-shared that is local
+	LocalDerefCost  float64 `json:"local_deref_cost"` // plain C pointer dereference
 
 	// Network (cross-node).
-	SendOverhead float64 // o: CPU time on the sender per message
-	Latency      float64 // L: wire latency
-	GapPerByte   float64 // G: 1/bandwidth
-	GapPerMsg    float64 // g: NIC occupancy per message at the target
+	SendOverhead float64 `json:"send_overhead"` // o: CPU time on the sender per message
+	Latency      float64 `json:"latency"`       // L: wire latency
+	GapPerByte   float64 `json:"gap_per_byte"`  // G: 1/bandwidth
+	GapPerMsg    float64 `json:"gap_per_msg"`   // g: NIC occupancy per message at the target
 
 	// Intra-node shared memory (threads of one process, -pthreads).
-	SmemOverhead   float64 // per-access overhead through the shared segment
-	SmemGapPerByte float64 // 1/memcpy bandwidth
+	SmemOverhead   float64 `json:"smem_overhead"`     // per-access overhead through the shared segment
+	SmemGapPerByte float64 `json:"smem_gap_per_byte"` // 1/memcpy bandwidth
 
 	// Intra-node across processes (no -pthreads, >1 process per node).
 	// The paper observed this to be catastrophically slow on AIX/LAPI
 	// (36000s vs 26s for 16 ranks on one node), so the loopback path
 	// carries a large per-message overhead.
-	LoopbackOverhead float64
-	LoopbackPerByte  float64
+	LoopbackOverhead float64 `json:"loopback_overhead"`
+	LoopbackPerByte  float64 `json:"loopback_per_byte"`
 
 	// Synchronization.
-	LockOverhead  float64 // acquiring/releasing a upc_lock, on top of messaging
-	BarrierPerHop float64 // cost per log2(P) combining step
+	LockOverhead  float64 `json:"lock_overhead"`   // acquiring/releasing a upc_lock, on top of messaging
+	BarrierPerHop float64 `json:"barrier_per_hop"` // cost per log2(P) combining step
 
 	// PthreadCPUFactor inflates computation cost when the threaded runtime
 	// is used (GASNet polling interference; the paper measured processes
 	// ~1.4-2x faster than pthreads at equal thread counts).
-	PthreadCPUFactor float64
+	PthreadCPUFactor float64 `json:"pthread_cpu_factor"`
 }
 
 // Power5 returns parameters calibrated to the paper's IBM Power5/LAPI
@@ -141,10 +141,29 @@ const (
 // how they are packed onto nodes, and whether the threaded (-pthreads)
 // runtime is used for same-node threads.
 type Machine struct {
-	Threads        int
-	ThreadsPerNode int
-	Pthreads       bool // true: one process/node with pthreads; false: one process per thread
-	Par            Params
+	Threads        int    `json:"threads"`
+	ThreadsPerNode int    `json:"threads_per_node"`
+	Pthreads       bool   `json:"pthreads"` // true: one process/node with pthreads; false: one process per thread
+	Par            Params `json:"params"`
+}
+
+// Key returns a canonical string identifying the machine configuration,
+// including every cost-model constant: two Machines with equal keys cost
+// identical simulated programs identically. Used by the experiment
+// harness to memoize runs.
+func (m *Machine) Key() string {
+	if m == nil {
+		return "mach{nil}"
+	}
+	return fmt.Sprintf("mach{t=%d,pn=%d,pth=%t,par=%.17g}", m.Threads, m.ThreadsPerNode, m.Pthreads,
+		[]float64{
+			m.Par.InteractionCost, m.Par.BodyUpdateCost, m.Par.TreeLevelCost, m.Par.CellInitCost,
+			m.Par.ByteCopyCost, m.Par.GPtrDerefCost, m.Par.LocalDerefCost,
+			m.Par.SendOverhead, m.Par.Latency, m.Par.GapPerByte, m.Par.GapPerMsg,
+			m.Par.SmemOverhead, m.Par.SmemGapPerByte,
+			m.Par.LoopbackOverhead, m.Par.LoopbackPerByte,
+			m.Par.LockOverhead, m.Par.BarrierPerHop, m.Par.PthreadCPUFactor,
+		})
 }
 
 // New builds a Machine. threadsPerNode <= 0 means one thread per node.
@@ -176,7 +195,7 @@ func Default(threads int) *Machine {
 	return MustNew(threads, 1, false, Power5())
 }
 
-// Nodes returns the number of nodes the threads occupy.
+// Node returns the node that thread t occupies.
 func (m *Machine) Node(t int) int { return t / m.ThreadsPerNode }
 
 // NumNodes returns the number of occupied nodes.

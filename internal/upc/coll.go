@@ -128,15 +128,11 @@ func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 // Broadcast distributes root's value to all threads.
 func Broadcast[T any](t *Thread, root int, v T) T {
 	t.stats.Collectives++
-	var zero T
-	cost := t.rt.cost.collectiveCost(t, 8) // payloads here are scalar-sized
+	cost := t.rt.cost.collectiveCost(t, payloadBytes(v))
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		return slots[root]
 	})
 	t.AdvanceTo(clock)
-	if res == nil {
-		return zero
-	}
 	return res.(T)
 }
 
@@ -144,7 +140,7 @@ func Broadcast[T any](t *Thread, root int, v T) T {
 // by thread id and shared (read-only) by all threads.
 func AllGather[T any](t *Thread, v T) []T {
 	t.stats.Collectives++
-	cost := t.rt.cost.collectiveCost(t, 8*t.rt.n)
+	cost := t.rt.cost.collectiveCost(t, payloadBytes(v)*t.rt.n)
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		out := make([]T, len(slots))
 		for i, s := range slots {

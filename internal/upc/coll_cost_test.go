@@ -1,0 +1,73 @@
+package upc
+
+import (
+	"testing"
+
+	"upcbh/internal/machine"
+)
+
+// TestAllocChargesNoCost pins Heap.Alloc's documented behavior: the
+// emulated upc_alloc is a local bump-pointer reservation and charges no
+// simulated time — allocator overhead is folded into the operation that
+// initializes the allocation (CellInitCost, ByteCopyCost).
+func TestAllocChargesNoCost(t *testing.T) {
+	rt := testRuntime(2)
+	h := NewHeap[[16]float64](rt, 1024)
+	rt.Run(func(th *Thread) {
+		before := th.Now()
+		for i := 0; i < 100; i++ {
+			h.Alloc(th, 7)
+		}
+		if got := th.Now(); got != before {
+			t.Errorf("thread %d: Alloc advanced the clock from %g to %g", th.ID(), before, got)
+		}
+	})
+}
+
+// TestCollectivePayloadSizing pins that Broadcast and AllGather charge
+// the real element size (like AllToAll) rather than a hard-coded 8-byte
+// scalar payload.
+func TestCollectivePayloadSizing(t *testing.T) {
+	type wide struct{ A, B, C, D, E, F float64 } // 48 bytes
+	const threads = 4
+	m := machine.Default(threads)
+
+	rt := NewRuntime(m)
+	rt.Run(func(th *Thread) {
+		th.Barrier() // align clocks so the collective cost is the exact delta
+
+		before := th.Now()
+		Broadcast(th, 0, wide{A: float64(th.ID())})
+		if got, want := th.Now()-before, m.CollectiveCost(48); !closeTo(got, want) {
+			t.Errorf("thread %d: wide Broadcast cost %g, want %g", th.ID(), got, want)
+		}
+
+		before = th.Now()
+		Broadcast(th, 0, th.ID())
+		if got, want := th.Now()-before, m.CollectiveCost(8); !closeTo(got, want) {
+			t.Errorf("thread %d: scalar Broadcast cost %g, want %g", th.ID(), got, want)
+		}
+
+		before = th.Now()
+		AllGather(th, wide{A: float64(th.ID())})
+		if got, want := th.Now()-before, m.CollectiveCost(48*threads); !closeTo(got, want) {
+			t.Errorf("thread %d: wide AllGather cost %g, want %g", th.ID(), got, want)
+		}
+
+		// Slice payloads charge the elements carried, not the 24-byte
+		// slice header (the mpibh sample-sort splitter exchange).
+		before = th.Now()
+		AllGather(th, make([]float64, 100))
+		if got, want := th.Now()-before, m.CollectiveCost(8*100*threads); !closeTo(got, want) {
+			t.Errorf("thread %d: slice AllGather cost %g, want %g", th.ID(), got, want)
+		}
+	})
+}
+
+func closeTo(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-15*(1+b)
+}

@@ -1,6 +1,7 @@
 package upc
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -43,6 +44,26 @@ func ParseExecMode(s string) (ExecMode, error) {
 		}
 	}
 	return 0, fmt.Errorf("upc: unknown exec mode %q (want simulate|native)", s)
+}
+
+// MarshalJSON encodes the mode as its flag name ("simulate"/"native") so
+// serialized reports stay readable and stable across reorderings.
+func (m ExecMode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.String())
+}
+
+// UnmarshalJSON decodes a flag name back into an ExecMode.
+func (m *ExecMode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseExecMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // costModel is the seam between the runtime's mechanisms and its timing

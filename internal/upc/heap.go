@@ -80,7 +80,12 @@ func (h *Heap[T]) Len(thr int) int { return int(h.shards[thr].n) }
 
 // Alloc reserves count contiguous elements in t's own shard (upc_alloc
 // allocates in the caller's local shared space) and returns the Ref of
-// the first. The simulated cost is the allocator overhead only.
+// the first. No simulated cost is charged: the emulated allocator is a
+// local bump-pointer whose per-object overhead the cost model folds into
+// the operation that initializes the allocation (CellInitCost for cells,
+// ByteCopyCost for buffers), mirroring how the paper's timings cannot
+// separate upc_alloc from the work that populates the memory.
+// TestAllocChargesNoCost pins this behavior.
 func (h *Heap[T]) Alloc(t *Thread, count int) Ref {
 	if count <= 0 {
 		panic("upc: Alloc with non-positive count")

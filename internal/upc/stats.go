@@ -1,6 +1,9 @@
 package upc
 
-import "unsafe"
+import (
+	"reflect"
+	"unsafe"
+)
 
 // Stats counts the operations a thread performed; aggregated over threads
 // they back the paper's in-text claims (message counts, gather source
@@ -95,3 +98,16 @@ func (rt *Runtime) MaxClock() float64 {
 
 // intSizeof returns the in-memory size of v as an int.
 func intSizeof[T any](v T) int { return int(unsafe.Sizeof(v)) }
+
+// payloadBytes returns the wire size of a collective payload: for slices
+// the elements it carries (len * elem size), not the 24-byte slice
+// header unsafe.Sizeof would report; for everything else the in-memory
+// size. Collectives run once per phase at most, so the reflection is off
+// any hot path.
+func payloadBytes[T any](v T) int {
+	rv := reflect.ValueOf(&v).Elem()
+	if rv.Kind() == reflect.Slice {
+		return rv.Len() * int(rv.Type().Elem().Size())
+	}
+	return intSizeof(v)
+}
