@@ -38,6 +38,7 @@ func main() {
 		steps    = flag.Int("steps", 0, "override total time-steps (default: paper's 4)")
 		warmup   = flag.Int("warmup", 0, "override warmup steps (default: paper's 2)")
 		modeS    = flag.String("mode", "simulate", "execution backend: simulate | native (cost-model experiments — table9, fig12, ext-cache, ext-mpi — always run simulated; ext-native always runs both)")
+		scenS    = flag.String("scenario", "", "workload scenario for every experiment: plummer|two-plummer|uniform|clustered|disk (default plummer; the imbalance experiment sweeps all of them)")
 		verbose  = flag.Bool("v", false, "print per-experiment timing and per-run progress")
 	)
 	flag.Parse()
@@ -63,6 +64,12 @@ func main() {
 		os.Exit(2)
 	}
 	p.Mode = mode
+	scenario, err := core.ParseScenario(*scenS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p.Scenario = scenario.Name()
 
 	var exps []bench.Experiment
 	if *exp == "all" {

@@ -22,6 +22,7 @@ func main() {
 		threads  = flag.Int("threads", 8, "emulated UPC threads")
 		levelS   = flag.String("level", "subspace", "optimization level: baseline|scalars|redistribute|cache|merged|async|subspace")
 		modeS    = flag.String("mode", "simulate", "execution backend: simulate (modelled cluster time) | native (real parallel run, wall-clock time)")
+		scenS    = flag.String("scenario", "plummer", "workload scenario: plummer|two-plummer|uniform|clustered|disk")
 		steps    = flag.Int("steps", 4, "time-steps to run")
 		warmup   = flag.Int("warmup", 2, "warmup steps excluded from timing")
 		theta    = flag.Float64("theta", 1.0, "opening criterion")
@@ -45,8 +46,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	scenario, err := upcbh.ParseScenario(*scenS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opts := upcbh.DefaultOptions(*n, *threads, level)
 	opts.ExecMode = mode
+	opts.Scenario = scenario.Name()
 	opts.Steps, opts.Warmup = *steps, *warmup
 	opts.Theta, opts.Eps, opts.Dt, opts.Seed = *theta, *eps, *dt, *seed
 	opts.VectorReduce = !*noVec
@@ -59,7 +66,12 @@ func main() {
 
 	var e0kin, e0pot float64
 	if *energy {
-		e0kin, e0pot = upcbh.Energy(upcbh.Plummer(*n, *seed), *eps)
+		ic, err := upcbh.GenerateScenario(scenario.Name(), *n, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e0kin, e0pot = upcbh.Energy(ic, *eps)
 	}
 
 	sim, err := upcbh.New(opts)
@@ -77,8 +89,8 @@ func main() {
 	if mode == upcbh.ModeNative {
 		timeKind = "wall-clock"
 	}
-	fmt.Printf("level=%s mode=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n",
-		level, mode, *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
+	fmt.Printf("level=%s mode=%s scenario=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n",
+		level, mode, scenario.Name(), *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
 	fmt.Printf("times are %s seconds\n\n", timeKind)
 	fmt.Printf("%-16s %12s %6s %12s %12s %10s\n", "phase", "t(s)", "%", "msgs", "MB", "locks")
 	total := res.Total()

@@ -37,6 +37,10 @@ type Params struct {
 	// ext-cache/ext-mpi compare simulated costs, and any run with a
 	// custom machine (table9, fig12, ...) is pinned by options().
 	Mode core.ExecMode `json:"mode"`
+	// Scenario selects the workload scenario every experiment runs on
+	// ("" = the paper's Plummer sphere). The imbalance experiment
+	// sweeps all scenarios itself and ignores this.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // DefaultParams is the full harness configuration.
@@ -126,6 +130,7 @@ func options(p Params, n, threads int, level core.Level, m *machine.Machine) cor
 	opts := core.DefaultOptions(n, threads, level)
 	opts.Steps, opts.Warmup = p.steps()
 	opts.ExecMode = p.Mode
+	opts.Scenario = p.Scenario
 	if m != nil {
 		// A custom machine means the experiment's point is the cost model
 		// (node packing, pthreads factor, loopback path) — which the

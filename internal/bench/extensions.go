@@ -29,6 +29,7 @@ func extensionExperiments() []Experiment {
 			Paper: "beyond the paper: the same UPC Barnes-Hut code run as a real parallel program on this host (ModeNative) vs the simulated Power5 cluster (ModeSimulate); per-phase simulated and wall-clock times side by side",
 			run:   runModeComparison,
 		},
+		imbalanceExperiment(),
 	}
 }
 

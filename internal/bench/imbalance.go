@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"upcbh/internal/core"
+	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
+)
+
+// imbalanceExperiment extends the paper's §5.2/§6 load-balance story to
+// nonuniform inputs: the paper only ever measures a Plummer sphere, but
+// costzones and the subspace owner assignment exist precisely because
+// irregular spatial distributions put unequal interaction counts on
+// equal body counts. This experiment sweeps every registered workload
+// scenario and reports per-thread interaction-count skew (max/mean;
+// 1.0 = perfect) under three ownership policies — the static block
+// distribution of the §4 baseline (computed from the sequential
+// reference tree, since costzones runs at every optimization level of
+// the parallel code), costzones over the merged tree (§5.4), and the
+// subspace owner assignment (§6) — plus the per-step migrated fraction
+// the two balancers pay for that balance.
+func imbalanceExperiment() Experiment {
+	return Experiment{
+		ID:    "imbalance",
+		Title: "Extension: load balance across workload scenarios",
+		Paper: "the paper evaluates only a Plummer sphere; §5.2 (redistribution) and §6 (subspace owner assignment) are motivated by irregular distributions — this sweep measures how much imbalance each scenario actually induces and how well the balancers remove it",
+		run:   runImbalance,
+	}
+}
+
+// staticBlockSkew computes the interaction skew the §4 baseline layout
+// would suffer with no load balancing at all: bodies in ID order are
+// split into `threads` equal blocks and each block's Barnes-Hut
+// interaction count is measured on the sequential reference tree.
+func staticBlockSkew(bodies []nbody.Body, threads int, theta, eps float64) float64 {
+	tr := octree.Build(bodies)
+	tr.ComputeCofM()
+	n := len(bodies)
+	per := make([]uint64, threads)
+	var total uint64
+	for i := range bodies {
+		_, _, inter := tr.ForceOn(&bodies[i], theta, eps)
+		blk := i * threads / n
+		per[blk] += uint64(inter)
+		total += uint64(inter)
+	}
+	if total == 0 {
+		return 0
+	}
+	var max uint64
+	for _, v := range per {
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) / (float64(total) / float64(threads))
+}
+
+// imbalanceBalancers are the two ownership policies the parallel code
+// can actually run: costzones over the merged tree and the subspace
+// owner assignment.
+var imbalanceBalancers = []core.Level{core.LevelMergedBuild, core.LevelSubspace}
+
+func runImbalance(x *Exec) (string, error) {
+	p := x.P
+	n := p.bodies(strongBodies / 2)
+	threads := 16
+	if p.MaxThreads > 0 && p.MaxThreads < threads {
+		threads = p.MaxThreads
+	}
+	scenarios := nbody.ScenarioNames()
+
+	opts := make([]core.Options, 0, len(scenarios)*len(imbalanceBalancers))
+	for _, scn := range scenarios {
+		for _, level := range imbalanceBalancers {
+			o := options(p, n, threads, level, nil)
+			o.Scenario = scn
+			opts = append(opts, o)
+		}
+	}
+	results, err := x.runAll(opts)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load imbalance by scenario: %d bodies, %d threads (skew = max/mean per-thread interactions; 1.00 = balanced)\n\n", n, threads)
+	fmt.Fprintf(&b, "%-14s%12s", "scenario", "static skew")
+	for _, level := range imbalanceBalancers {
+		fmt.Fprintf(&b, "%14s%10s", level.String()+" skew", "migr%")
+	}
+	b.WriteByte('\n')
+	i := 0
+	for _, scn := range scenarios {
+		ic, err := nbody.GenerateScenario(scn, n, opts[0].Seed)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-14s%12.2f", scn, staticBlockSkew(ic, threads, opts[0].Theta, opts[0].Eps))
+		for range imbalanceBalancers {
+			res := results[i]
+			i++
+			fmt.Fprintf(&b, "%14.2f%9.1f%%", interactionSkew(res), 100*res.MigratedFraction)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nstatic = §4 block ownership in ID order, measured on the sequential reference tree\n")
+	b.WriteString("(no balancing); merged = costzones over the merged tree (§5.4); subspace = cost-based\n")
+	b.WriteString("subspace owner assignment (§6), which trades some balance for faster tree builds.\n")
+	b.WriteString("migr% = bodies changing owner per step — the churn the balancer pays for balance.\n")
+	return b.String(), nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"upcbh/internal/core"
+	"upcbh/internal/nbody"
+)
+
+func TestInteractionSkew(t *testing.T) {
+	res := &core.Result{
+		Interactions: 400,
+		PerThread: []core.ThreadBreakdown{
+			{Interactions: 100}, {Interactions: 100}, {Interactions: 100}, {Interactions: 100},
+		},
+	}
+	if got := interactionSkew(res); got != 1.0 {
+		t.Errorf("balanced skew = %g, want 1.0", got)
+	}
+	res.PerThread[0].Interactions = 250
+	res.PerThread[1].Interactions = 50
+	res.PerThread[2].Interactions = 50
+	res.PerThread[3].Interactions = 50
+	if got := interactionSkew(res); got != 2.5 {
+		t.Errorf("skew = %g, want 2.5", got)
+	}
+	if got := interactionSkew(&core.Result{PerThread: []core.ThreadBreakdown{{Interactions: 5}}}); got != 0 {
+		t.Errorf("single-thread skew = %g, want 0 (omitted)", got)
+	}
+}
+
+func TestStaticBlockSkewClustered(t *testing.T) {
+	// The clustered scenario exists to induce imbalance; the uniform
+	// scenario exists not to. Static block ownership must rank them.
+	uni := staticBlockSkew(nbody.Uniform(2048, 1), 16, 1.0, 0.05)
+	clu := staticBlockSkew(nbody.Clustered(2048, 1, 8, 0.6), 16, 1.0, 0.05)
+	if uni <= 0 || clu <= 0 {
+		t.Fatalf("skews must be positive: uniform %g clustered %g", uni, clu)
+	}
+	if clu <= uni {
+		t.Errorf("clustered static skew %g not above uniform %g", clu, uni)
+	}
+}
+
+func TestImbalanceExperiment(t *testing.T) {
+	e, err := ByID("imbalance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(NewRunner(0), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scn := range nbody.ScenarioNames() {
+		if !strings.Contains(rep.Text, scn) {
+			t.Errorf("imbalance table missing scenario row %q:\n%s", scn, rep.Text)
+		}
+	}
+	// The JSON side of the acceptance criterion: every executed config
+	// records its scenario (via Options) and its interaction skew.
+	if len(rep.Configs) == 0 {
+		t.Fatal("no configs recorded")
+	}
+	for _, c := range rep.Configs {
+		if c.Options.Scenario == "" {
+			t.Errorf("config %s has no scenario recorded", c.Key)
+		}
+		if c.InteractionSkew < 1 {
+			t.Errorf("config %s has interaction skew %g < 1", c.Key, c.InteractionSkew)
+		}
+	}
+}

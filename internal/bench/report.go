@@ -22,6 +22,27 @@ type ConfigRun struct {
 	MigratedFraction float64 `json:"migrated_fraction"`
 	Msgs             uint64  `json:"msgs"`
 	Bytes            uint64  `json:"bytes"`
+	// InteractionSkew is max/mean per-thread interaction count over the
+	// measured steps (1.0 = perfectly balanced force work; the paper's
+	// §5.2/§6 balancers exist to push this toward 1). Omitted for
+	// single-thread runs, where it is 1 by construction.
+	InteractionSkew float64 `json:"interaction_skew,omitempty"`
+}
+
+// interactionSkew returns max/mean of the per-thread interaction counts
+// (0 when the result carries no per-thread detail or no interactions).
+func interactionSkew(res *core.Result) float64 {
+	if len(res.PerThread) < 2 || res.Interactions == 0 {
+		return 0
+	}
+	var max uint64
+	for _, tb := range res.PerThread {
+		if tb.Interactions > max {
+			max = tb.Interactions
+		}
+	}
+	mean := float64(res.Interactions) / float64(len(res.PerThread))
+	return float64(max) / mean
 }
 
 func newConfigRun(opts core.Options, res *core.Result, hit bool) ConfigRun {
@@ -35,6 +56,7 @@ func newConfigRun(opts core.Options, res *core.Result, hit bool) ConfigRun {
 		MigratedFraction: res.MigratedFraction,
 		Msgs:             res.Stats.Msgs,
 		Bytes:            res.Stats.Bytes,
+		InteractionSkew:  interactionSkew(res),
 	}
 }
 

@@ -33,6 +33,14 @@ type Runner struct {
 	// (miss/start, hit). Set it before the first Run call.
 	Progress func(format string, args ...any)
 
+	// KeepBodies retains Result.Bodies in cached results. Experiments
+	// never read the body state, so by default it is dropped before a
+	// result enters the cache (at full scale it dwarfs every timing
+	// field combined); the physics-verification harness flips this on
+	// to differentially test the final state. Set before the first Run
+	// call, and treat cached Bodies as read-only — results are shared.
+	KeepBodies bool
+
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	stats RunnerStats
@@ -80,21 +88,14 @@ func NewRunner(workers int) *Runner {
 }
 
 // execRun is the real execution path: build the simulation and run it.
-// The final body state is dropped before the result enters the cache: no
-// experiment reads it, reports never serialize it, and at full scale it
-// dwarfs every timing field combined — pinning it for the whole bhbench
-// invocation would grow memory linearly with -scale.
+// Run drops the final body state before the result enters the cache
+// unless KeepBodies is set.
 func execRun(opts core.Options) (*core.Result, error) {
 	sim, err := core.New(opts)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run()
-	if err != nil {
-		return nil, err
-	}
-	res.Bodies = nil
-	return res, nil
+	return sim.Run()
 }
 
 // Workers returns the worker-pool width.
@@ -159,6 +160,9 @@ func (r *Runner) Run(opts core.Options) (res *core.Result, hit bool, err error) 
 		e.res, e.err = r.exec(opts)
 		<-r.sem
 		r.excl.RUnlock()
+	}
+	if e.res != nil && !r.KeepBodies {
+		e.res.Bodies = nil
 	}
 	close(e.done)
 	return e.res, false, e.err

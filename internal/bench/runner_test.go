@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"upcbh/internal/core"
+	"upcbh/internal/nbody"
 )
 
 // stubExec installs a fast fake execution path that fabricates a Result
@@ -229,5 +230,38 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if gt.Runner != traj.Runner || len(gt.Reports) != 1 || gt.Reports[0].ID != rep.ID {
 		t.Errorf("trajectory round trip lost data")
+	}
+}
+
+// TestRunnerKeepBodies: by default the body state is dropped before a
+// result enters the cache; with KeepBodies the verification harness
+// gets the physics back.
+func TestRunnerKeepBodies(t *testing.T) {
+	mkRunner := func(keep bool) *Runner {
+		r := NewRunner(2)
+		r.KeepBodies = keep
+		r.exec = func(o core.Options) (*core.Result, error) {
+			res := &core.Result{Level: o.Level}
+			res.Bodies = make([]nbody.Body, o.Bodies)
+			return res, nil
+		}
+		return r
+	}
+	opts := core.DefaultOptions(256, 2, core.LevelSubspace)
+
+	res, _, err := mkRunner(false).Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bodies != nil {
+		t.Errorf("default runner kept %d bodies; cache should drop them", len(res.Bodies))
+	}
+
+	res, _, err = mkRunner(true).Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bodies) != opts.Bodies {
+		t.Errorf("KeepBodies runner returned %d bodies, want %d", len(res.Bodies), opts.Bodies)
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"upcbh/internal/nbody"
+)
 
 // Key returns a canonical string identifying the simulation this Options
 // value would run: two Options with equal keys produce statistically
@@ -26,10 +30,14 @@ func (o Options) Key() string {
 	if alpha <= 0 {
 		alpha = 2.0 / 3.0
 	}
+	scn := o.Scenario
+	if scn == "" {
+		scn = nbody.DefaultScenario
+	}
 	return fmt.Sprintf(
-		"n=%d;steps=%d;warm=%d;theta=%.17g;eps=%.17g;dt=%.17g;seed=%d;mode=%s;level=%s;"+
+		"n=%d;steps=%d;warm=%d;theta=%.17g;eps=%.17g;dt=%.17g;seed=%d;scn=%s;mode=%s;level=%s;"+
 			"alias=%t;vec=%t;async=%d/%d/%d;alpha=%.17g;verify=%t;tcache=%t;tbuf=%d;%s",
-		o.Bodies, o.Steps, o.Warmup, o.Theta, o.Eps, o.Dt, o.Seed, o.ExecMode, o.Level,
+		o.Bodies, o.Steps, o.Warmup, o.Theta, o.Eps, o.Dt, o.Seed, scn, o.ExecMode, o.Level,
 		o.AliasLocalCells, o.VectorReduce, n1, n2, n3, alpha, o.Verify, o.TransparentCache,
 		o.testBufferCap, o.Machine.Key())
 }

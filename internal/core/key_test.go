@@ -22,20 +22,21 @@ func TestOptionsKeyDiscriminates(t *testing.T) {
 	base := DefaultOptions(2048, 4, LevelSubspace)
 	seen := map[string]string{base.Key(): "base"}
 	mutations := map[string]func(*Options){
-		"bodies":  func(o *Options) { o.Bodies = 4096 },
-		"steps":   func(o *Options) { o.Steps = 6 },
-		"warmup":  func(o *Options) { o.Warmup = 3 },
-		"theta":   func(o *Options) { o.Theta = 0.5 },
-		"seed":    func(o *Options) { o.Seed = 7 },
-		"mode":    func(o *Options) { o.ExecMode = ModeNative },
-		"level":   func(o *Options) { o.Level = LevelAsync },
-		"vec":     func(o *Options) { o.VectorReduce = false },
-		"n1":      func(o *Options) { o.N1 = 8 },
-		"verify":  func(o *Options) { o.Verify = true },
-		"tcache":  func(o *Options) { o.TransparentCache = true },
-		"machine": func(o *Options) { o.Machine = machine.MustNew(4, 4, true, machine.Power5()) },
-		"parcost": func(o *Options) { m := *o.Machine; m.Par.Latency *= 2; o.Machine = &m },
-		"tbufcap": func(o *Options) { o.testBufferCap = 64 },
+		"bodies":   func(o *Options) { o.Bodies = 4096 },
+		"steps":    func(o *Options) { o.Steps = 6 },
+		"warmup":   func(o *Options) { o.Warmup = 3 },
+		"theta":    func(o *Options) { o.Theta = 0.5 },
+		"seed":     func(o *Options) { o.Seed = 7 },
+		"scenario": func(o *Options) { o.Scenario = "clustered" },
+		"mode":     func(o *Options) { o.ExecMode = ModeNative },
+		"level":    func(o *Options) { o.Level = LevelAsync },
+		"vec":      func(o *Options) { o.VectorReduce = false },
+		"n1":       func(o *Options) { o.N1 = 8 },
+		"verify":   func(o *Options) { o.Verify = true },
+		"tcache":   func(o *Options) { o.TransparentCache = true },
+		"machine":  func(o *Options) { o.Machine = machine.MustNew(4, 4, true, machine.Power5()) },
+		"parcost":  func(o *Options) { m := *o.Machine; m.Par.Latency *= 2; o.Machine = &m },
+		"tbufcap":  func(o *Options) { o.testBufferCap = 64 },
 	}
 	for name, mut := range mutations {
 		o := base

@@ -89,10 +89,15 @@ type tstate struct {
 	phaseComm [NumPhases]upc.Stats // per-phase operation deltas (measured steps)
 }
 
-// New builds a simulation: generates the Plummer initial conditions and
-// sets up the runtime, heaps, locks and shared scalars.
+// New builds a simulation: generates the initial conditions from the
+// configured scenario (Plummer by default) and sets up the runtime,
+// heaps, locks and shared scalars.
 func New(opts Options) (*Sim, error) {
 	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	init, err := nbody.GenerateScenario(opts.Scenario, opts.Bodies, opts.Seed)
+	if err != nil {
 		return nil, err
 	}
 	rt := upc.NewRuntimeMode(opts.Machine, opts.ExecMode)
@@ -109,7 +114,7 @@ func New(opts Options) (*Sim, error) {
 		bodies: upc.NewHeap[nbody.Body](rt, bodyChunk),
 		cells:  upc.NewHeap[Cell](rt, 1<<14),
 		locks:  rt.NewLockArray(2048),
-		init:   nbody.Plummer(opts.Bodies, opts.Seed),
+		init:   init,
 		ts:     make([]*tstate, p),
 	}
 	s.geomS = upc.NewScalar(rt, rootGeom{})

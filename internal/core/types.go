@@ -61,6 +61,10 @@ const (
 // ParseExecMode maps a mode name ("simulate", "native") to an ExecMode.
 func ParseExecMode(s string) (ExecMode, error) { return upc.ParseExecMode(s) }
 
+// ParseScenario validates a workload-scenario name ("" means the
+// default "plummer") and returns its generator. See nbody.Scenarios.
+func ParseScenario(s string) (nbody.Scenario, error) { return nbody.ParseScenario(s) }
+
 // Total returns the summed time over all phases.
 func (pt PhaseTimes) Total() float64 {
 	var s float64
@@ -173,6 +177,12 @@ type Options struct {
 	Dt    float64 `json:"dt"`    // time-step (SPLASH2 default 0.025)
 	Seed  uint64  `json:"seed"`
 
+	// Scenario names the initial-condition generator (see
+	// nbody.Scenarios): "plummer" (the paper's workload, also the
+	// default for ""), "two-plummer", "uniform", "clustered", "disk".
+	// Ignored when SetBodies supplies the bodies directly.
+	Scenario string `json:"scenario,omitempty"`
+
 	// ExecMode selects the execution backend (default ModeSimulate). The
 	// physics is mode-independent; only the timing policy changes.
 	ExecMode ExecMode `json:"exec_mode"`
@@ -244,6 +254,12 @@ func (o *Options) validate() error {
 	}
 	if o.Theta <= 0 {
 		return fmt.Errorf("core: Theta must be positive")
+	}
+	if _, err := nbody.ParseScenario(o.Scenario); err != nil {
+		return err
+	}
+	if o.Scenario == "" {
+		o.Scenario = nbody.DefaultScenario
 	}
 	if o.N1 <= 0 {
 		o.N1 = 4

@@ -1,0 +1,231 @@
+package nbody
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"upcbh/internal/rng"
+	"upcbh/internal/vec"
+)
+
+// Scenario is a named, seeded initial-condition generator. The paper
+// evaluates every optimization level on a single Plummer sphere, but its
+// argument is about irregular access patterns — which depend on how
+// bodies are distributed across space (and therefore across threads and
+// subspaces). Scenarios make that distribution a first-class, selectable
+// workload axis: same seed + same n => bit-identical bodies, so every
+// scenario is usable in memoized experiments and golden tests.
+type Scenario interface {
+	// Name is the registry key ("plummer", "disk", ...), stable across
+	// releases: it appears in Options JSON and in Options.Key.
+	Name() string
+	// Description is a one-line summary for CLI listings and docs.
+	Description() string
+	// Generate returns n bodies with sequential IDs, unit total mass,
+	// Cost 1, shifted to the center-of-mass frame.
+	Generate(n int, seed uint64) []Body
+}
+
+// scenarioFunc adapts a generator function to the Scenario interface.
+type scenarioFunc struct {
+	name, desc string
+	gen        func(n int, seed uint64) []Body
+}
+
+func (s scenarioFunc) Name() string                       { return s.name }
+func (s scenarioFunc) Description() string                { return s.desc }
+func (s scenarioFunc) Generate(n int, seed uint64) []Body { return s.gen(n, seed) }
+
+// DefaultScenario is the registry key assumed when none is specified —
+// the paper's own workload.
+const DefaultScenario = "plummer"
+
+// Default two-plummer collision geometry (shared with the
+// galaxy-collision example): clusters 4 length units apart closing at
+// unit speed with a slight transverse offset so they don't hit head-on.
+var (
+	twoPlummerOffset = vec.V3{X: 4.0}
+	twoPlummerVrel   = vec.V3{X: 1.0, Y: 0.15}
+)
+
+// scenarios is the registry, in presentation order.
+var scenarios = []Scenario{
+	scenarioFunc{"plummer", "single Plummer sphere (the paper's SPLASH2 workload)", Plummer},
+	scenarioFunc{"two-plummer", "two Plummer spheres on a collision orbit (offset 4, closing speed 1)",
+		func(n int, seed uint64) []Body { return TwoPlummer(n, seed, twoPlummerOffset, twoPlummerVrel) }},
+	scenarioFunc{"uniform", "uniform sphere with isotropic velocity dispersion (near-balanced octree)", Uniform},
+	scenarioFunc{"clustered", "8 hierarchical clumps with geometric mass imbalance (worst-case load skew)",
+		func(n int, seed uint64) []Body { return Clustered(n, seed, 8, 0.6) }},
+	scenarioFunc{"disk", "rotating exponential disk with vertical scale height (flattened, ordered motion)", Disk},
+}
+
+// Scenarios returns the registry in presentation order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// ScenarioNames returns the registry keys in presentation order.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// ParseScenario maps a registry key to its Scenario. The empty string
+// maps to DefaultScenario, mirroring how zero-valued Options fields fall
+// back to paper defaults.
+func ParseScenario(name string) (Scenario, error) {
+	if name == "" {
+		name = DefaultScenario
+	}
+	for _, s := range scenarios {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("nbody: unknown scenario %q (have %v)", name, ScenarioNames())
+}
+
+// GenerateScenario generates n bodies from the named scenario.
+func GenerateScenario(name string, n int, seed uint64) ([]Body, error) {
+	s, err := ParseScenario(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Generate(n, seed), nil
+}
+
+// Uniform generates n equal-mass bodies uniformly distributed inside the
+// unit sphere with an isotropic Maxwellian velocity dispersion of ~40% of
+// the circular speed at the edge (sigma 0.25 in N-body units). The
+// resulting octree is as balanced as Barnes-Hut gets, making this the
+// best-case baseline for load-balance comparisons.
+func Uniform(n int, seed uint64) []Body {
+	r := rng.New(seed)
+	bodies := make([]Body, n)
+	mass := 1.0 / float64(n)
+	const sigma = 0.25
+	for i := range bodies {
+		// Uniform in the ball: radius ~ u^(1/3).
+		radius := math.Cbrt(r.Float64())
+		x, y, z := r.UnitSphere()
+		pos := vec.V3{X: x, Y: y, Z: z}.Scale(radius)
+		vel := vec.V3{X: r.Gauss(), Y: r.Gauss(), Z: r.Gauss()}.Scale(sigma)
+		bodies[i] = Body{Pos: pos, Vel: vel, Mass: mass, Cost: 1, ID: int32(i)}
+	}
+	centerOfMass(bodies)
+	return bodies
+}
+
+// Clustered generates n equal-mass bodies in `clumps` Gaussian clumps
+// with geometrically decaying populations: clump k receives a share
+// proportional to ratio^k, so ratio 1 is perfectly balanced and smaller
+// ratios concentrate most of the mass (and most of the interactions) in
+// the first few clumps. Clump centers are placed uniformly in a
+// radius-3 sphere with clump scale radius 0.25 — deep, uneven octrees
+// and the per-thread load skew the paper's costzones/subspace balancers
+// exist to fix.
+func Clustered(n int, seed uint64, clumps int, ratio float64) []Body {
+	if clumps < 1 {
+		clumps = 1
+	}
+	if ratio <= 0 || ratio > 1 {
+		ratio = 1
+	}
+	r := rng.New(seed)
+	mass := 1.0 / float64(n)
+
+	// Geometric shares, largest first, exact total n.
+	weights := make([]float64, clumps)
+	var wsum float64
+	for k := range weights {
+		weights[k] = math.Pow(ratio, float64(k))
+		wsum += weights[k]
+	}
+	counts := make([]int, clumps)
+	assigned := 0
+	for k := range counts {
+		counts[k] = int(float64(n) * weights[k] / wsum)
+		assigned += counts[k]
+	}
+	counts[0] += n - assigned // rounding remainder to the largest clump
+
+	bodies := make([]Body, 0, n)
+	for k := 0; k < clumps; k++ {
+		cx, cy, cz := r.UnitSphere()
+		center := vec.V3{X: cx, Y: cy, Z: cz}.Scale(3 * math.Cbrt(r.Float64()))
+		bulk := vec.V3{X: r.Gauss(), Y: r.Gauss(), Z: r.Gauss()}.Scale(0.2)
+		for i := 0; i < counts[k]; i++ {
+			pos := center.Add(vec.V3{X: r.Gauss(), Y: r.Gauss(), Z: r.Gauss()}.Scale(0.25))
+			vel := bulk.Add(vec.V3{X: r.Gauss(), Y: r.Gauss(), Z: r.Gauss()}.Scale(0.1))
+			bodies = append(bodies, Body{Pos: pos, Vel: vel, Mass: mass, Cost: 1, ID: int32(len(bodies))})
+		}
+	}
+	centerOfMass(bodies)
+	return bodies
+}
+
+// Disk generates n equal-mass bodies in a rotating exponential disk:
+// surface density ~ exp(-r/Rd) with scale length Rd = 1 (radii sampled
+// by inverting the enclosed-mass profile M(<x) = 1-(1+x)e^{-x}), a
+// Gaussian vertical structure with scale height 0.05 Rd, and circular
+// velocities v_c = sqrt(M(<r)/r) from the analytic enclosed mass (G = 1)
+// plus a 10% isotropic dispersion. The geometry is flattened and the
+// motion ordered — a spatial distribution no isotropic model produces.
+func Disk(n int, seed uint64) []Body {
+	r := rng.New(seed)
+	bodies := make([]Body, n)
+	mass := 1.0 / float64(n)
+	const (
+		zScale = 0.05
+		sigma  = 0.1
+		rMax   = 6.0 // truncation: M(<6) ~ 0.983 of the disk
+	)
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = diskRadius(r.Range(0, diskMass(rMax)))
+	}
+	// Enclosed mass must count the bodies actually sampled, so sort the
+	// radii once and hand body i the i-th smallest radius; the uniform
+	// azimuth decorrelates position from index.
+	sort.Float64s(radii)
+	for i := range bodies {
+		rad := radii[i]
+		phi := r.Range(0, 2*math.Pi)
+		cosp, sinp := math.Cos(phi), math.Sin(phi)
+		pos := vec.V3{X: rad * cosp, Y: rad * sinp, Z: zScale * r.Gauss()}
+
+		// Circular speed from the mass interior to this body's ring:
+		// (i+0.5)/n of the total unit mass is inside radius rad.
+		enc := (float64(i) + 0.5) / float64(n)
+		vc := math.Sqrt(enc / math.Max(rad, 1e-3))
+		vel := vec.V3{X: -vc * sinp, Y: vc * cosp}.
+			Add(vec.V3{X: r.Gauss(), Y: r.Gauss(), Z: r.Gauss()}.Scale(sigma * vc))
+		bodies[i] = Body{Pos: pos, Vel: vel, Mass: mass, Cost: 1, ID: int32(i)}
+	}
+	centerOfMass(bodies)
+	return bodies
+}
+
+// diskMass is the enclosed-mass profile of the unit exponential disk:
+// M(<x) = 1 - (1+x)e^{-x} for x = r/Rd.
+func diskMass(x float64) float64 { return 1 - (1+x)*math.Exp(-x) }
+
+// diskRadius inverts diskMass by bisection (monotone on [0, inf)).
+func diskRadius(m float64) float64 {
+	lo, hi := 0.0, 20.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if diskMass(mid) < m {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,161 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScenarioInvariants checks every registered generator for the
+// contract Sim.New depends on: exact body count, sequential IDs, unit
+// total mass, positive per-body costs, finite state, and a
+// center-of-mass frame.
+func TestScenarioInvariants(t *testing.T) {
+	const n = 1000
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			bodies := s.Generate(n, 42)
+			if len(bodies) != n {
+				t.Fatalf("generated %d bodies, want %d", len(bodies), n)
+			}
+			var cpos, cvel [3]float64
+			var mtot float64
+			for i := range bodies {
+				b := &bodies[i]
+				if b.ID != int32(i) {
+					t.Fatalf("body %d has ID %d", i, b.ID)
+				}
+				if b.Cost <= 0 {
+					t.Fatalf("body %d has non-positive cost %g", i, b.Cost)
+				}
+				if b.Mass <= 0 {
+					t.Fatalf("body %d has non-positive mass %g", i, b.Mass)
+				}
+				for _, v := range []float64{b.Pos.X, b.Pos.Y, b.Pos.Z, b.Vel.X, b.Vel.Y, b.Vel.Z} {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("body %d has non-finite state %+v", i, b)
+					}
+				}
+				mtot += b.Mass
+				cpos[0] += b.Mass * b.Pos.X
+				cpos[1] += b.Mass * b.Pos.Y
+				cpos[2] += b.Mass * b.Pos.Z
+				cvel[0] += b.Mass * b.Vel.X
+				cvel[1] += b.Mass * b.Vel.Y
+				cvel[2] += b.Mass * b.Vel.Z
+			}
+			if math.Abs(mtot-1) > 1e-9 {
+				t.Errorf("total mass %g, want 1", mtot)
+			}
+			for k := 0; k < 3; k++ {
+				if math.Abs(cpos[k]) > 1e-9 || math.Abs(cvel[k]) > 1e-9 {
+					t.Errorf("not in center-of-mass frame: cpos=%v cvel=%v", cpos, cvel)
+					break
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism: same name+n+seed => bit-identical bodies
+// (the memoization and golden-test contract); different seeds differ.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			a := s.Generate(512, 7)
+			b := s.Generate(512, 7)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("body %d differs between identical seeds: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+			c := s.Generate(512, 8)
+			same := true
+			for i := range a {
+				if a[i].Pos != c[i].Pos {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("seed 7 and seed 8 generated identical positions")
+			}
+		})
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		s, err := ParseScenario(name)
+		if err != nil {
+			t.Fatalf("ParseScenario(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ParseScenario(%q).Name() = %q", name, s.Name())
+		}
+		if s.Description() == "" {
+			t.Errorf("scenario %q has no description", name)
+		}
+	}
+	if s, err := ParseScenario(""); err != nil || s.Name() != DefaultScenario {
+		t.Errorf("ParseScenario(\"\") = %v, %v; want the %q default", s, err, DefaultScenario)
+	}
+	if _, err := ParseScenario("warp-core"); err == nil {
+		t.Error("ParseScenario accepted an unknown name")
+	}
+}
+
+// TestClusteredImbalance pins the property the scenario exists for: with
+// a geometric ratio well below 1, the densest octant holds far more
+// than 1/8 of the bodies.
+func TestClusteredImbalance(t *testing.T) {
+	bodies := Clustered(4096, 3, 8, 0.6)
+	lo, hi := BoundingBox(bodies)
+	center := lo.Add(hi).Scale(0.5)
+	var octants [8]int
+	for i := range bodies {
+		oct := 0
+		if bodies[i].Pos.X > center.X {
+			oct |= 1
+		}
+		if bodies[i].Pos.Y > center.Y {
+			oct |= 2
+		}
+		if bodies[i].Pos.Z > center.Z {
+			oct |= 4
+		}
+		octants[oct]++
+	}
+	max := 0
+	for _, c := range octants {
+		if c > max {
+			max = c
+		}
+	}
+	if max < len(bodies)/4 {
+		t.Errorf("densest octant holds %d of %d bodies; expected clustering well above the uniform 1/8", max, len(bodies))
+	}
+}
+
+// TestDiskGeometry pins the disk's defining shape: flattened (z extent a
+// small fraction of the radial extent) and rotating (net angular
+// momentum about z far from zero).
+func TestDiskGeometry(t *testing.T) {
+	bodies := Disk(2048, 11)
+	var zrms, rrms, lz float64
+	for i := range bodies {
+		b := &bodies[i]
+		zrms += b.Pos.Z * b.Pos.Z
+		rrms += b.Pos.X*b.Pos.X + b.Pos.Y*b.Pos.Y
+		lz += b.Mass * (b.Pos.X*b.Vel.Y - b.Pos.Y*b.Vel.X)
+	}
+	zrms = math.Sqrt(zrms / float64(len(bodies)))
+	rrms = math.Sqrt(rrms / float64(len(bodies)))
+	if zrms > 0.2*rrms {
+		t.Errorf("disk not flattened: z_rms %g vs r_rms %g", zrms, rrms)
+	}
+	if lz < 0.1 {
+		t.Errorf("disk not rotating: L_z = %g", lz)
+	}
+}

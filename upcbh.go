@@ -56,6 +56,9 @@ type (
 	Phase = core.Phase
 	// Body is one simulated particle.
 	Body = nbody.Body
+	// Scenario is a named, seeded initial-condition generator; select
+	// one by name via Options.Scenario.
+	Scenario = nbody.Scenario
 	// V3 is a 3-component vector.
 	V3 = vec.V3
 	// Machine describes the emulated cluster configuration.
@@ -107,6 +110,20 @@ func ParseLevel(s string) (Level, error) { return core.ParseLevel(s) }
 
 // ParseExecMode maps a backend name ("simulate", "native") to an ExecMode.
 func ParseExecMode(s string) (ExecMode, error) { return core.ParseExecMode(s) }
+
+// ParseScenario maps a workload-scenario name ("plummer", "two-plummer",
+// "uniform", "clustered", "disk"; "" means "plummer") to its generator.
+func ParseScenario(s string) (Scenario, error) { return nbody.ParseScenario(s) }
+
+// Scenarios returns the registered workload scenarios in presentation
+// order.
+func Scenarios() []Scenario { return nbody.Scenarios() }
+
+// GenerateScenario generates n bodies from the named scenario with a
+// deterministic seed.
+func GenerateScenario(name string, n int, seed uint64) ([]Body, error) {
+	return nbody.GenerateScenario(name, n, seed)
+}
 
 // NewMachine describes an emulated cluster: total UPC threads, threads
 // packed per node, and whether the threaded (-pthreads) runtime is used.
