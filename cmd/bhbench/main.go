@@ -4,6 +4,7 @@
 //
 //	bhbench -list
 //	bhbench -exp table5
+//	bhbench -exp layout                       # pointer vs flat octree, per phase
 //	bhbench -exp all -scale 0.5 -out results/ -json
 //
 // Experiments run through a shared memoized Runner: configurations that

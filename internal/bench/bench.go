@@ -78,6 +78,7 @@ func (e Experiment) Run(r *Runner, p Params) (*Report, error) {
 		Paper:   e.Paper,
 		Params:  p,
 		Configs: x.configs,
+		Data:    x.data,
 		Text:    text,
 		Elapsed: time.Since(start).Seconds(),
 	}, nil

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
 		"fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
-		"ext-cache", "ext-mpi", "ext-native", "imbalance",
+		"ext-cache", "ext-mpi", "ext-native", "imbalance", "layout",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {
@@ -141,6 +141,59 @@ func TestModeComparisonExperiment(t *testing.T) {
 	for _, want := range []string{"sim t(s)", "wall t(s)", "Force Comp.", "Total"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLayoutExperiment runs the flat-vs-pointer layout comparison at a
+// tiny scale and checks both halves of its report: structured kernel
+// points with coherent speedups, and the two native configs (flat on and
+// off) with positive wall-clock phase times.
+func TestLayoutExperiment(t *testing.T) {
+	e, err := ByID("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(NewRunner(1), tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := rep.Data.(*LayoutReport)
+	if !ok {
+		t.Fatalf("report data is %T, want *LayoutReport", rep.Data)
+	}
+	if len(lr.Points) == 0 {
+		t.Fatal("no layout points measured")
+	}
+	for _, pt := range lr.Points {
+		if pt.Pointer.ForceSec <= 0 || pt.Flat.ForceSec <= 0 ||
+			pt.Pointer.BuildSec <= 0 || pt.Flat.BuildSec <= 0 {
+			t.Errorf("n=%d: non-positive phase time: %+v", pt.Bodies, pt)
+		}
+		if pt.ForceSpeedup <= 0 || pt.BuildSpeedup <= 0 {
+			t.Errorf("n=%d: non-positive speedup: %+v", pt.Bodies, pt)
+		}
+	}
+	if len(rep.Configs) != 2 {
+		t.Fatalf("expected 2 native configs, got %d", len(rep.Configs))
+	}
+	var sawFlat, sawPtr bool
+	for _, c := range rep.Configs {
+		if c.Options.DisableFlat {
+			sawPtr = true
+		} else {
+			sawFlat = true
+		}
+		if c.Total <= 0 {
+			t.Errorf("config %s has non-positive wall total", c.Key)
+		}
+	}
+	if !sawFlat || !sawPtr {
+		t.Errorf("expected one flat and one pointer native config")
+	}
+	for _, want := range []string{"flat build", "force x", "native force-phase speedup"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("layout text missing %q:\n%s", want, rep.Text)
 		}
 	}
 }

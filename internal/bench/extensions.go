@@ -30,6 +30,7 @@ func extensionExperiments() []Experiment {
 			run:   runModeComparison,
 		},
 		imbalanceExperiment(),
+		layoutExperiment(),
 	}
 }
 

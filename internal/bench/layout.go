@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"upcbh/internal/core"
+	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
+)
+
+// The layout experiment quantifies this PR's tentpole: the flat,
+// arena-backed Morton-ordered octree versus the pointer tree, per phase,
+// in wall-clock time on the host. It has two parts:
+//
+//  1. Kernel measurements (LayoutReport): the sequential build and
+//     full-force-sweep phases of both representations, interleaved
+//     round-robin (noise on a shared host hits both sides alike) with
+//     the per-phase minimum over rounds reported.
+//  2. Native Sim runs (Configs): the distributed merged-build pipeline
+//     under ModeNative with the flat paths on vs off (DisableFlat),
+//     whose per-phase wall-clock tables land in the Report's configs.
+//
+// The PR's acceptance bar — flat force kernel >= 1.5x over the pointer
+// walk at n >= 16k on Plummer — is read directly off ForceSpeedup.
+
+// LayoutPhases is one representation's measured phase times in seconds.
+type LayoutPhases struct {
+	BuildSec float64 `json:"build_sec"` // tree construction (+aggregates)
+	ForceSec float64 `json:"force_sec"` // full force sweep over all bodies
+}
+
+// LayoutPoint compares the two layouts at one workload size.
+type LayoutPoint struct {
+	Bodies       int          `json:"bodies"`
+	Scenario     string       `json:"scenario"`
+	Pointer      LayoutPhases `json:"pointer"`
+	Flat         LayoutPhases `json:"flat"`
+	BuildSpeedup float64      `json:"build_speedup"`
+	ForceSpeedup float64      `json:"force_speedup"`
+	TotalSpeedup float64      `json:"total_speedup"`
+}
+
+// LayoutReport is the structured kernel-measurement document embedded in
+// the layout experiment's Report (and hence in BENCH_layout.json).
+type LayoutReport struct {
+	Theta  float64       `json:"theta"`
+	Eps    float64       `json:"eps"`
+	Rounds int           `json:"rounds"`
+	Points []LayoutPoint `json:"points"`
+}
+
+func layoutExperiment() Experiment {
+	return Experiment{
+		ID:    "layout",
+		Title: "Extension: pointer vs flat (arena/Morton/SoA) octree, per phase",
+		Paper: "beyond the paper: its locality argument (§5.3-§6) applied within one node — contiguous Morton-ordered arenas vs heap-of-pointers traversal; acceptance bar >= 1.5x force speedup at n >= 16k",
+		run:   runLayout,
+	}
+}
+
+func runLayout(x *Exec) (string, error) {
+	p := x.P
+	scenario := p.Scenario
+	if scenario == "" {
+		scenario = nbody.DefaultScenario
+	}
+	const theta, eps = 1.0, 0.05
+	rounds := 3
+
+	lr := &LayoutReport{Theta: theta, Eps: eps, Rounds: rounds}
+	for _, base := range []int{strongBodies, 2 * strongBodies} {
+		n := p.bodies(base)
+		pt, err := layoutMeasure(scenario, n, theta, eps, rounds)
+		if err != nil {
+			return "", err
+		}
+		lr.Points = append(lr.Points, pt)
+	}
+	x.SetData(lr)
+
+	// Native end-to-end: the merged-build pipeline with the flat paths
+	// on vs off. Native runs execute exclusively on the Runner, so the
+	// wall-clock phase tables are clean. Threads are clamped to the host
+	// core count: native phase times are per-thread wall windows, and
+	// oversubscribing goroutines onto fewer cores staggers the windows
+	// (time-slicing), which under-reports barrier-less phases and makes
+	// cross-variant comparison meaningless.
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	if p.MaxThreads > 0 && p.MaxThreads < threads {
+		threads = p.MaxThreads
+	}
+	nSim := p.bodies(strongBodies)
+	flatOpts := options(p, nSim, threads, core.LevelMergedBuild, nil)
+	flatOpts.ExecMode = core.ModeNative
+	flatOpts.Scenario = scenario
+	ptrOpts := flatOpts
+	ptrOpts.DisableFlat = true
+	results, err := x.runAll([]core.Options{ptrOpts, flatOpts})
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequential kernels, %s scenario, theta=%g eps=%g (min of %d interleaved rounds):\n\n",
+		scenario, theta, eps, rounds)
+	fmt.Fprintf(&b, "%10s %12s %12s %12s %12s %9s %9s\n",
+		"bodies", "ptr build", "flat build", "ptr force", "flat force", "build x", "force x")
+	for _, pt := range lr.Points {
+		fmt.Fprintf(&b, "%10d %12s %12s %12s %12s %8.2fx %8.2fx\n",
+			pt.Bodies,
+			fmtTime(pt.Pointer.BuildSec), fmtTime(pt.Flat.BuildSec),
+			fmtTime(pt.Pointer.ForceSec), fmtTime(pt.Flat.ForceSec),
+			pt.BuildSpeedup, pt.ForceSpeedup)
+	}
+	fmt.Fprintf(&b, "\nNative %s pipeline, %d bodies, %d threads (wall-clock per phase):\n\n",
+		core.LevelMergedBuild, nSim, threads)
+	table := &PhaseTable{
+		Title:   "pointer (DisableFlat) vs flat",
+		Threads: []int{threads, threads},
+		Results: results,
+	}
+	b.WriteString(table.Format())
+	pr, fr := results[0], results[1]
+	speed := func(ptr, flat float64) string {
+		if flat <= 0 {
+			return "n/a" // wall-clock resolution too coarse at this scale
+		}
+		return fmt.Sprintf("%.2fx", ptr/flat)
+	}
+	fmt.Fprintf(&b, "\nnative force-phase speedup: %s; tree-phase speedup: %s\n",
+		speed(pr.Phases[core.PhaseForce], fr.Phases[core.PhaseForce]),
+		speed(pr.Phases[core.PhaseTree], fr.Phases[core.PhaseTree]))
+	return b.String(), nil
+}
+
+// layoutMeasure times both representations at one size, interleaving
+// rounds and keeping per-phase minima.
+func layoutMeasure(scenario string, n int, theta, eps float64, rounds int) (LayoutPoint, error) {
+	bodies, err := nbody.GenerateScenario(scenario, n, 1)
+	if err != nil {
+		return LayoutPoint{}, err
+	}
+	pt := LayoutPoint{Bodies: n, Scenario: scenario}
+	inf := math.Inf(1)
+	pt.Pointer = LayoutPhases{BuildSec: inf, ForceSec: inf}
+	pt.Flat = LayoutPhases{BuildSec: inf, ForceSec: inf}
+	ft := &octree.FlatTree{}
+	minIn := func(dst *float64, d time.Duration) {
+		s := d.Seconds()
+		if s < 1e-9 {
+			s = 1e-9 // clock-resolution floor: keeps speedup ratios finite
+		}
+		if s < *dst {
+			*dst = s
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		tree := octree.Build(bodies)
+		minIn(&pt.Pointer.BuildSec, time.Since(t0))
+
+		t0 = time.Now()
+		for i := range bodies {
+			acc, phi, inter := tree.ForceOn(&bodies[i], theta, eps)
+			bodies[i].Acc, bodies[i].Phi, bodies[i].Cost = acc, phi, float64(inter)
+		}
+		minIn(&pt.Pointer.ForceSec, time.Since(t0))
+
+		t0 = time.Now()
+		ft.Rebuild(bodies)
+		minIn(&pt.Flat.BuildSec, time.Since(t0))
+
+		t0 = time.Now()
+		ft.SolveInto(bodies, theta, eps)
+		minIn(&pt.Flat.ForceSec, time.Since(t0))
+	}
+	pt.BuildSpeedup = pt.Pointer.BuildSec / pt.Flat.BuildSec
+	pt.ForceSpeedup = pt.Pointer.ForceSec / pt.Flat.ForceSec
+	pt.TotalSpeedup = (pt.Pointer.BuildSec + pt.Pointer.ForceSec) /
+		(pt.Flat.BuildSec + pt.Flat.ForceSec)
+	return pt, nil
+}

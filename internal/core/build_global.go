@@ -204,7 +204,10 @@ func (s *Sim) cofmGlobal(t *upc.Thread, st *tstate) {
 // costzones is the SPLASH2 partitioner (used through LevelAsync): walk
 // the shared tree depth-first accumulating body costs; each thread claims
 // the bodies whose cost prefix falls in its equal share of the total.
-// Pruning disjoint subtrees keeps the walk near O(own zone).
+// Pruning disjoint subtrees keeps the walk near O(own zone). The walk is
+// iterative over a retained explicit stack (children pushed in reverse,
+// so the visit — and hence charge — order equals the recursive one);
+// steady-state steps allocate nothing.
 func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 	rootNR := s.readRoot(t, st)
 	rootRef := rootNR.Ref()
@@ -217,8 +220,10 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 	st.myBodies = st.myBodies[:0]
 
 	prefix := 0.0
-	var walk func(nr NodeRef)
-	walk = func(nr NodeRef) {
+	stack := append(st.czstack[:0], rootNR)
+	for len(stack) > 0 {
+		nr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		if nr.IsBody() {
 			b := s.bodies.GetBytes(t, nr.Ref(), bytesBodyCost)
 			c := b.Cost
@@ -232,21 +237,21 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 			}
 			prefix += c
 			t.Charge(s.par.LocalDerefCost)
-			return
+			continue
 		}
 		cell := s.cells.Get(t, nr.Ref())
 		if prefix+cell.Cost <= lo || prefix >= hi {
 			prefix += cell.Cost
-			return // disjoint subtree: prune
+			continue // disjoint subtree: prune
 		}
 		t.Charge(s.par.TreeLevelCost)
-		for oct := range cell.Sub {
+		for oct := 7; oct >= 0; oct-- {
 			if slot := cell.Sub[oct]; !slot.IsNil() {
-				walk(slot)
+				stack = append(stack, slot)
 			}
 		}
 	}
-	walk(rootNR)
+	st.czstack = stack[:0]
 }
 
 // redistribute implements §5.2: pull remotely stored owned bodies into
@@ -254,14 +259,15 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 // the local copies, and compact into the alternate buffer when full.
 func (s *Sim) redistribute(t *upc.Thread, st *tstate, measured bool) {
 	me := int32(t.ID())
-	var remoteIdx []int
-	var remoteRefs []upc.Ref
+	remoteIdx := st.remoteIdx[:0]
+	remoteRefs := st.remoteRefs[:0]
 	for i, br := range st.myBodies {
 		if br.Thr != me {
 			remoteIdx = append(remoteIdx, i)
 			remoteRefs = append(remoteRefs, br)
 		}
 	}
+	st.remoteIdx, st.remoteRefs = remoteIdx, remoteRefs
 	if measured {
 		st.migrated += len(remoteRefs)
 		st.ownedTot += len(st.myBodies)

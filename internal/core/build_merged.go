@@ -18,14 +18,22 @@ import (
 func (s *Sim) buildMerged(t *upc.Thread, st *tstate, measured bool) {
 	g := s.boundingBox(t, st)
 
-	// Sub-phase 1: local tree (sequential, no locks, local pointers).
+	// Sub-phase 1: local tree (sequential, no locks, local pointers). The
+	// native backend builds it in the flat Morton-sorted arena and emits
+	// the cells in one DFS pass (same tree, same aggregates, contiguous
+	// shard layout); the simulate backend keeps the charged insertion.
 	t0 := t.Now()
-	lroot := s.newCell(t, st, g.Center, g.Half)
-	for _, br := range st.myBodies {
-		pos := s.bodyPos(t, st, br)
-		s.insertLocalTree(t, st, lroot, br, pos)
+	var lroot upc.Ref
+	if s.nativeFlat() {
+		lroot = s.buildLocalFlat(t, st, g)
+	} else {
+		lroot = s.newCell(t, st, g.Center, g.Half)
+		for _, br := range st.myBodies {
+			pos := s.bodyPos(t, st, br)
+			s.insertLocalTree(t, st, lroot, br, pos)
+		}
+		s.cofmLocalTree(t, lroot)
 	}
-	s.cofmLocalTree(t, lroot)
 	if measured {
 		st.treeLocalT += t.Now() - t0
 	}

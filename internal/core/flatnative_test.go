@@ -1,0 +1,159 @@
+package core
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"upcbh/internal/upc"
+)
+
+// runNativeFlat runs one native-mode configuration with the flat paths
+// on or off.
+func runNativeFlat(t *testing.T, n, threads int, level Level, disableFlat bool) *Result {
+	t.Helper()
+	opts := DefaultOptions(n, threads, level)
+	opts.Steps, opts.Warmup = 2, 1
+	opts.ExecMode = ModeNative
+	opts.DisableFlat = disableFlat
+	opts.Verify = true // structural gate on every step's global tree
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestNativeFlatExactSingleThread pins the strongest equivalence claim:
+// at one thread (no merge races), the flat local build emits exactly the
+// tree the pointer insertion builds, and the flat snapshot kernel
+// interacts in exactly forceCached's DFS order — so the entire
+// trajectory is bit-identical with the flat paths on or off. This holds
+// for the levels whose pointer force path is the plain DFS walk
+// (LevelCacheTree, LevelMergedBuild); LevelAsync/LevelSubspace fall back
+// to forceAsync, whose frontier scheduling reorders the same interaction
+// set, and are covered by the tolerance test below.
+func TestNativeFlatExactSingleThread(t *testing.T) {
+	for _, level := range []Level{LevelCacheTree, LevelMergedBuild} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			flat := runNativeFlat(t, 1024, 1, level, false)
+			ptr := runNativeFlat(t, 1024, 1, level, true)
+			if flat.Interactions != ptr.Interactions {
+				t.Errorf("interaction counts differ: flat %d pointer %d", flat.Interactions, ptr.Interactions)
+			}
+			for i := range flat.Bodies {
+				fb, pb := flat.Bodies[i], ptr.Bodies[i]
+				if fb.Pos != pb.Pos || fb.Vel != pb.Vel || fb.Acc != pb.Acc || fb.Phi != pb.Phi {
+					t.Fatalf("body %d state differs:\nflat    %+v\npointer %+v", fb.ID, fb, pb)
+				}
+			}
+		})
+	}
+}
+
+// TestNativeFlatMatchesPointerThreads checks the multi-thread case,
+// where concurrent merges may reorder commutative center-of-mass
+// updates in both variants: physics agrees within FP-reordering
+// tolerance.
+func TestNativeFlatMatchesPointerThreads(t *testing.T) {
+	for _, level := range []Level{LevelCacheTree, LevelMergedBuild, LevelAsync, LevelSubspace} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			flat := runNativeFlat(t, 2048, 4, level, false)
+			ptr := runNativeFlat(t, 2048, 4, level, true)
+			worstPos, worstVel := comparePhysics(t, flat, ptr)
+			if worstPos > 1e-9 || worstVel > 1e-9 {
+				t.Errorf("flat physics diverges from pointer: pos %g vel %g", worstPos, worstVel)
+			}
+			if flat.Interactions == 0 {
+				t.Error("flat run recorded no interactions")
+			}
+		})
+	}
+}
+
+// TestNativeSteadyStateZeroAlloc is the allocation-regression gate for
+// steady-state timestep advance: a single-thread native run at the
+// merged level (flat local build + flat snapshot force — the full flat
+// hot path) must stop allocating once its arenas have warmed up. The
+// per-step malloc counts are sampled inside the SPMD thread via the
+// step hook, with the GC disabled so background collection cannot
+// perturb the counters.
+func TestNativeSteadyStateZeroAlloc(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	runtime.GC()
+
+	const steps, warm = 8, 1
+	mallocs := make([]uint64, 0, steps)
+	opts := DefaultOptions(2048, 1, LevelMergedBuild)
+	opts.Steps, opts.Warmup = steps, warm
+	opts.ExecMode = ModeNative
+	opts.testStepHook = func(th *upc.Thread, step int) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs = append(mallocs, ms.Mallocs)
+	}
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mallocs) != steps {
+		t.Fatalf("hook ran %d times, want %d", len(mallocs), steps)
+	}
+	// The first steps may allocate (arena growth, stepPh warmup). The
+	// final steps are the steady state the tentpole promises: 0 allocs.
+	for i := steps - 3; i < steps; i++ {
+		if d := mallocs[i] - mallocs[i-1]; d != 0 {
+			t.Errorf("step %d allocated %d objects in steady state, want 0", i, d)
+		}
+	}
+}
+
+// TestNativeFlatSnapshotCoversTree cross-checks the snapshot against the
+// global tree it was taken from: every body appears exactly once and the
+// root aggregates carry the full mass, for a configuration with
+// migration (multi-thread, clustered scenario).
+func TestNativeFlatSnapshotCoversTree(t *testing.T) {
+	opts := DefaultOptions(1024, 4, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 2, 1
+	opts.ExecMode = ModeNative
+	opts.Scenario = "clustered"
+	var snapBodies, snapCells []int
+	opts.testStepHook = func(th *upc.Thread, step int) {
+		if th.ID() != 0 {
+			return
+		}
+		sim := currentSim
+		snapBodies = append(snapBodies, sim.flat.ft.Bodies.Len())
+		snapCells = append(snapCells, len(sim.flat.ft.Nodes))
+	}
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	currentSim = sim
+	defer func() { currentSim = nil }()
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, nb := range snapBodies {
+		if nb != opts.Bodies {
+			t.Errorf("step %d: snapshot holds %d bodies, want %d", i, nb, opts.Bodies)
+		}
+		if snapCells[i] < 1 || snapCells[i] > 2*opts.Bodies {
+			t.Errorf("step %d: implausible snapshot cell count %d", i, snapCells[i])
+		}
+	}
+}
+
+// currentSim lets a step hook reach the Sim under test (hooks receive
+// only the thread).
+var currentSim *Sim

@@ -42,6 +42,76 @@ var simulateGolden4T = map[string]PhaseTimes{
 	"subspace":     {0.0036927979999637484, 0, 1.547000042123603e-06, 0.00010980000000004875, 0.26017232798723317, 0.00011519999998199637},
 }
 
+// simulateGoldenFlat1T extends golden coverage across the flat-tree
+// refactor: per-phase simulated times for the single-thread n=1024
+// configuration, per scenario, captured from the tree immediately BEFORE
+// the arena/Morton flat octree landed. The flat representation is a
+// native-backend execution detail, so the Simulate backend's phase
+// tables must stay byte-identical across that refactor; this second,
+// scenario-bearing pin catches a cost-model change the n=2048 plummer
+// tables could miss (e.g. a charge keyed off tree shape).
+//
+// Regenerate with `go run ./internal/core/goldengen -n 1024 [-scenario s]`.
+var simulateGoldenFlat1T = map[string]map[string]PhaseTimes{
+	"plummer": {
+		"baseline":     {0.0081315640000510225, 0.00049951999999703345, 0.00025628800001165075, 0, 0.13663619999875068, 0.00031743999994660044},
+		"scalars":      {0.008047068000052629, 0.00049951999999703345, 0.00025620800001163735, 0, 0.11455092000571931, 0.00031744000000344386},
+		"redistribute": {0.0078901080000328416, 0.00049951999999703345, 0.00025620800001163735, 0, 0.11438708000569187, 0.00015359999997599516},
+		"cache":        {0.0078901080000538526, 0.0004995200000189326, 0.00025620800001933952, 0, 0.097669972002246877, 0.00015359999997599516},
+		"merged":       {0.0026008959999930387, 0, 0.00025620800001933952, 0, 0.097669972001921887, 0.00015359999997599516},
+		"async":        {0.0026008959999930387, 0, 0.00025620800001933952, 0, 0.097602288001897852, 0.00015359999997599516},
+		"subspace":     {0.0029327999999905485, 0, 2.0639999989136015e-06, 0.00010124799999999823, 0.097602288001910759, 0.00015359999997599516},
+	},
+	"clustered": {
+		"baseline":     {0.0081026040000882621, 0.0005124800000190638, 0.00026924800001948412, 0, 0.076565520004340026, 0.00031744000000344386},
+		"scalars":      {0.0080205080001111845, 0.00051248000004140704, 0.00026916800002761698, 0, 0.064391040001862312, 0.00031744000001765471},
+		"redistribute": {0.007863468000084875, 0.00051248000004140704, 0.00026916800002761698, 0, 0.064227200001808246, 0.00015359999999020602},
+		"cache":        {0.007863468000084875, 0.00051248000004140704, 0.00026916800002761698, 0, 0.054581689999479627, 0.00015359999999020602},
+		"merged":       {0.0025192960000377934, 0, 0.00026916800001259428, 0, 0.054581689999509506, 0.00015360000000441687},
+		"async":        {0.0025192960000377934, 0, 0.00026916800001259428, 0, 0.054513843999493009, 0.00015360000000441687},
+		"subspace":     {0.0028512000000424295, 0, 2.0639999989136015e-06, 0.00010124800000000517, 0.054513843999487888, 0.00015360000000441687},
+	},
+}
+
+// TestSimulateGoldenFlatRefactor pins the Simulate backend to the exact
+// pre-flat-tree phase tables: the flat octree must change native-mode
+// execution only.
+func TestSimulateGoldenFlatRefactor(t *testing.T) {
+	for scenario, perLevel := range simulateGoldenFlat1T {
+		for level := LevelBaseline; level < NumLevels; level++ {
+			scenario, level := scenario, level
+			t.Run(scenario+"/"+level.String(), func(t *testing.T) {
+				want, ok := perLevel[level.String()]
+				if !ok {
+					t.Fatalf("no golden for level %v", level)
+				}
+				opts := DefaultOptions(1024, 1, level)
+				opts.Scenario = scenario
+				sim, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for p := Phase(0); p < NumPhases; p++ {
+					got := res.Phases[p]
+					if want[p] == 0 {
+						if got != 0 {
+							t.Errorf("%v: got %.17g, want exactly 0", p, got)
+						}
+						continue
+					}
+					if rel := math.Abs(got-want[p]) / want[p]; rel > 1e-12 {
+						t.Errorf("%v: got %.17g, want %.17g (rel err %g)", p, got, want[p], rel)
+					}
+				}
+			})
+		}
+	}
+}
+
 func goldenRun(t *testing.T, level Level, threads int) *Result {
 	t.Helper()
 	opts := DefaultOptions(2048, threads, level)

@@ -17,10 +17,12 @@ import (
 func main() {
 	threads := flag.Int("threads", 1, "emulated UPC threads")
 	n := flag.Int("n", 2048, "bodies")
+	scenario := flag.String("scenario", "", "workload scenario (default plummer)")
 	flag.Parse()
 
 	for level := core.LevelBaseline; level < core.NumLevels; level++ {
 		opts := core.DefaultOptions(*n, *threads, level)
+		opts.Scenario = *scenario
 		sim, err := core.New(opts)
 		if err != nil {
 			panic(err)

@@ -7,6 +7,7 @@ import (
 
 	"upcbh/internal/machine"
 	"upcbh/internal/nbody"
+	"upcbh/internal/octree"
 	"upcbh/internal/upc"
 	"upcbh/internal/vec"
 )
@@ -35,6 +36,10 @@ type Sim struct {
 	tolS  *upc.Scalar[float64]
 	epsS  *upc.Scalar[float64]
 	rootS *upc.Scalar[NodeRef]
+
+	// flat is the shared native-backend snapshot state (see
+	// flatnative.go); nil under ModeSimulate or DisableFlat.
+	flat *flatState
 
 	init []nbody.Body
 	ts   []*tstate
@@ -73,6 +78,20 @@ type tstate struct {
 
 	// Subspace scratch (§6).
 	sub *subspaceState
+
+	// Native flat-path scratch (flatnative.go), retained across steps:
+	// the per-thread walker, the local-tree arena of the merged build,
+	// and the gathered owned-body slice it sorts.
+	fwalker octree.FlatWalker
+	lflat   octree.FlatTree
+	lbodies []nbody.Body
+
+	// Iterative-walk and redistribution scratch, retained across steps
+	// so steady-state stepping allocates nothing.
+	czstack    []NodeRef
+	remoteIdx  []int
+	remoteRefs []upc.Ref
+	bbLo, bbHi [3]float64
 
 	// Counters (accumulated over measured steps).
 	inter        uint64
@@ -124,6 +143,9 @@ func New(opts Options) (*Sim, error) {
 	for i := range s.ts {
 		s.ts[i] = &tstate{id: i}
 	}
+	if s.nativeFlat() {
+		s.flat = &flatState{}
+	}
 	return s, nil
 }
 
@@ -154,6 +176,24 @@ func (s *Sim) Run() (*Result, error) {
 	return s.collect()
 }
 
+// beginPhase/endPhase bracket one phase: wall/simulated time and the
+// operation-counter delta, then the phase barrier. They are plain
+// methods (not closures) so the steady-state step loop allocates
+// nothing; the measurement sequence is identical to the pre-refactor
+// closure (time read before the counter delta, barrier last), which the
+// simulate goldens pin.
+func (s *Sim) beginPhase(t *upc.Thread) (float64, upc.Stats) {
+	return t.Now(), t.Stats()
+}
+
+func (s *Sim) endPhase(t *upc.Thread, st *tstate, ph *PhaseTimes, p Phase, t0 float64, s0 upc.Stats, measured bool) {
+	ph[p] += t.Now() - t0
+	if measured {
+		st.phaseComm[p].Add(t.Stats().Delta(s0))
+	}
+	t.Barrier()
+}
+
 func (s *Sim) threadMain(t *upc.Thread) {
 	st := s.ts[t.ID()]
 	s.setup(t, st)
@@ -161,16 +201,6 @@ func (s *Sim) threadMain(t *upc.Thread) {
 	for step := 0; step < s.o.Steps; step++ {
 		measured := step >= s.o.Warmup
 		var ph PhaseTimes
-		run := func(p Phase, fn func()) {
-			t0 := t.Now()
-			s0 := t.Stats()
-			fn()
-			ph[p] += t.Now() - t0
-			if measured {
-				st.phaseComm[p].Add(t.Stats().Delta(s0))
-			}
-			t.Barrier()
-		}
 
 		// Per-step reset of the shared tree storage.
 		s.cells.Reset(t)
@@ -181,15 +211,29 @@ func (s *Sim) threadMain(t *upc.Thread) {
 		case s.o.Level >= LevelSubspace:
 			s.stepSubspace(t, st, &ph, measured)
 		case s.o.Level >= LevelMergedBuild:
-			run(PhaseTree, func() { s.buildMerged(t, st, measured) })
-			run(PhasePartition, func() { s.costzones(t, st) })
-			run(PhaseRedist, func() { s.redistribute(t, st, measured) })
+			t0, s0 := s.beginPhase(t)
+			s.buildMerged(t, st, measured)
+			s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
+			t0, s0 = s.beginPhase(t)
+			s.costzones(t, st)
+			s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
+			t0, s0 = s.beginPhase(t)
+			s.redistribute(t, st, measured)
+			s.endPhase(t, st, &ph, PhaseRedist, t0, s0, measured)
 		default:
-			run(PhaseTree, func() { s.buildGlobal(t, st) })
-			run(PhaseCofM, func() { s.cofmGlobal(t, st) })
-			run(PhasePartition, func() { s.costzones(t, st) })
+			t0, s0 := s.beginPhase(t)
+			s.buildGlobal(t, st)
+			s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
+			t0, s0 = s.beginPhase(t)
+			s.cofmGlobal(t, st)
+			s.endPhase(t, st, &ph, PhaseCofM, t0, s0, measured)
+			t0, s0 = s.beginPhase(t)
+			s.costzones(t, st)
+			s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
 			if s.o.Level >= LevelRedistribute {
-				run(PhaseRedist, func() { s.redistribute(t, st, measured) })
+				t0, s0 = s.beginPhase(t)
+				s.redistribute(t, st, measured)
+				s.endPhase(t, st, &ph, PhaseRedist, t0, s0, measured)
 			}
 		}
 
@@ -200,12 +244,19 @@ func (s *Sim) threadMain(t *upc.Thread) {
 			t.Barrier()
 		}
 
-		run(PhaseForce, func() { s.force(t, st, measured) })
-		run(PhaseAdvance, func() { s.advance(t, st) })
+		t0, s0 := s.beginPhase(t)
+		s.force(t, st, measured)
+		s.endPhase(t, st, &ph, PhaseForce, t0, s0, measured)
+		t0, s0 = s.beginPhase(t)
+		s.advance(t, st)
+		s.endPhase(t, st, &ph, PhaseAdvance, t0, s0, measured)
 
 		if measured {
 			st.phases.Add(ph)
 			st.stepPh = append(st.stepPh, ph)
+		}
+		if s.o.testStepHook != nil {
+			s.o.testStepHook(t, step)
 		}
 	}
 }
@@ -251,6 +302,9 @@ func (s *Sim) setup(t *upc.Thread, st *tstate) {
 
 	st.tol = s.o.Theta
 	st.eps = s.o.Eps
+	if st.stepPh == nil {
+		st.stepPh = make([]PhaseTimes, 0, s.o.Steps-s.o.Warmup)
+	}
 	if me == 0 {
 		s.tolS.Write(t, s.o.Theta)
 		s.epsS.Write(t, s.o.Eps)
@@ -385,8 +439,10 @@ func (s *Sim) boundingBox(t *upc.Thread, st *tstate) rootGeom {
 		hi = hi.Max(pos)
 		t.Charge(s.par.LocalDerefCost)
 	}
-	mins := upc.AllReduceVecF64(t, []float64{lo.X, lo.Y, lo.Z}, upc.OpMin)
-	maxs := upc.AllReduceVecF64(t, []float64{hi.X, hi.Y, hi.Z}, upc.OpMax)
+	st.bbLo = [3]float64{lo.X, lo.Y, lo.Z}
+	st.bbHi = [3]float64{hi.X, hi.Y, hi.Z}
+	mins := upc.AllReduceVecF64(t, st.bbLo[:], upc.OpMin)
+	maxs := upc.AllReduceVecF64(t, st.bbHi[:], upc.OpMax)
 	center, half := nbody.RootCell(
 		vec.V3{X: mins[0], Y: mins[1], Z: mins[2]},
 		vec.V3{X: maxs[0], Y: maxs[1], Z: maxs[2]})

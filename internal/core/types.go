@@ -206,9 +206,21 @@ type Options struct {
 	// experiment compares it against the paper's manual caching.
 	TransparentCache bool `json:"transparent_cache,omitempty"`
 
+	// DisableFlat turns off the native backend's flat-octree fast paths
+	// (the arena local build and the flat-snapshot force kernel), forcing
+	// the pointer/NodeRef walks the Simulate backend models. It exists
+	// for differential testing — flat-vs-pointer physics must agree — and
+	// has no effect under ModeSimulate, which never takes the flat paths.
+	DisableFlat bool `json:"disable_flat,omitempty"`
+
 	// testBufferCap overrides the §5.2 double-buffer capacity; tests use
 	// it to exercise the compaction path deterministically.
 	testBufferCap int
+
+	// testStepHook, when set, runs on every thread at the end of each
+	// time-step (after the advance barrier); the allocation-regression
+	// tests use it to sample per-step memory statistics in place.
+	testStepHook func(t *upc.Thread, step int)
 
 	Machine *machine.Machine `json:"machine"`
 }

@@ -29,8 +29,8 @@ func BenchmarkComputeCofM(b *testing.B) {
 	}
 }
 
-func BenchmarkForceOn(b *testing.B) {
-	bodies := nbody.Plummer(16384, 1)
+func benchmarkForceOnPointer(b *testing.B, n int) {
+	bodies := nbody.Plummer(n, 1)
 	t := Build(bodies)
 	b.ResetTimer()
 	var inter int
@@ -39,6 +39,83 @@ func BenchmarkForceOn(b *testing.B) {
 		inter = k
 	}
 	b.ReportMetric(float64(inter), "interactions/body")
+}
+
+func BenchmarkForceOn(b *testing.B)    { benchmarkForceOnPointer(b, 16384) }
+func BenchmarkForceOn32k(b *testing.B) { benchmarkForceOnPointer(b, 32768) }
+
+// BenchmarkForceOnFlat is the flat counterpart of BenchmarkForceOn: same
+// Plummer workload, same theta/eps, walking the arena tree one body per
+// call. The layout experiment (`bhbench -exp layout`) and the CI
+// benchmark step track the pointer/flat ratio; the PR's acceptance bar
+// is >= 1.5x for the batched kernel the hot path runs.
+func benchmarkForceOnFlat(b *testing.B, n int) {
+	bodies := nbody.Plummer(n, 1)
+	ft := BuildFlat(bodies)
+	b.ResetTimer()
+	var inter int
+	for i := 0; i < b.N; i++ {
+		_, _, k := ft.ForceOn(int32(i%ft.Bodies.Len()), 1.0, 0.05)
+		inter = k
+	}
+	b.ReportMetric(float64(inter), "interactions/body")
+}
+
+func BenchmarkForceOnFlat(b *testing.B)    { benchmarkForceOnFlat(b, 16384) }
+func BenchmarkForceOnFlat32k(b *testing.B) { benchmarkForceOnFlat(b, 32768) }
+
+// BenchmarkForceOnFlatBatch is the batched kernel the flat hot path
+// actually runs: FlatBatchWidth Morton-adjacent bodies per traversal.
+// Divide ns/op by the reported bodies/op for the per-body cost.
+func benchmarkForceOnFlatBatch(b *testing.B, n int) {
+	bodies := nbody.Plummer(n, 1)
+	ft := BuildFlat(bodies)
+	nb := ft.Bodies.Len()
+	var fb FlatBatch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := (i * FlatBatchWidth) % (nb - FlatBatchWidth + 1)
+		fb.N = FlatBatchWidth
+		for lane := 0; lane < FlatBatchWidth; lane++ {
+			fb.Pos[lane] = ft.Bodies.Pos[j+lane]
+			fb.Skip[lane] = int32(j + lane)
+		}
+		ft.walker.ForceBatch(ft, &fb, 1.0, 0.05)
+	}
+	b.ReportMetric(FlatBatchWidth, "bodies/op")
+}
+
+func BenchmarkForceOnFlatBatch(b *testing.B)    { benchmarkForceOnFlatBatch(b, 16384) }
+func BenchmarkForceOnFlatBatch32k(b *testing.B) { benchmarkForceOnFlatBatch(b, 32768) }
+
+// BenchmarkSolve/BenchmarkSolveFlat time a full build+force sweep in each
+// layout (the steady-state per-timestep work of the native hot path).
+func BenchmarkSolve(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(bodies, 1.0, 0.05)
+	}
+}
+
+func BenchmarkSolveFlat(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	ft := &FlatTree{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Rebuild(bodies)
+		ft.SolveInto(bodies, 1.0, 0.05)
+	}
+}
+
+func BenchmarkBuildFlat(b *testing.B) {
+	bodies := nbody.Plummer(16384, 1)
+	ft := &FlatTree{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Rebuild(bodies)
+	}
+	b.ReportMetric(float64(len(bodies)), "bodies/op")
 }
 
 func BenchmarkMorton(b *testing.B) {

@@ -1,0 +1,807 @@
+package octree
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"upcbh/internal/nbody"
+	"upcbh/internal/vec"
+)
+
+// This file implements the flat, arena-backed octree: the same canonical
+// Barnes-Hut tree as the pointer representation (Tree/Node), stored as
+// contiguous slices addressed by int32 indices, over bodies held in
+// Morton-sorted structure-of-arrays views. The layout turns the force
+// walk's pointer-chasing into mostly-sequential index arithmetic — the
+// single-node analogue of the paper's locality theme (§5.3 caching, §5.4
+// merged local builds, §6 subspaces all exist to replace scattered
+// remote access with contiguous local access).
+//
+// Structural contract: for a given body set and root cube, the flat tree
+// is node-for-node identical to the pointer tree Build produces (the
+// Barnes-Hut octree is canonical — a cube is a cell iff it holds >= 2
+// bodies — and both builders split with the same Octant/ChildBounds
+// arithmetic), nodes appear in DFS preorder with children visited in
+// octant order, and the aggregates are computed with the same operation
+// order as ComputeCofM, so CofM/Mass agree bit for bit. The fuzz and
+// property tests in flat_test.go pin this equivalence.
+
+// flatMaxDepth bounds the flat build's recursion; exceeding it means
+// (near-)coincident bodies the octree cannot separate, matching the
+// pointer builder's panic.
+const flatMaxDepth = 64
+
+// FlatNode is the hot record of one cell: exactly the fields the force
+// walk reads, packed into 48 bytes so the acceptance test streams
+// through a dense array (a 16K-body tree's nodes fit in L2, where the
+// 152-byte pointer Nodes do not). Everything the walk does not read
+// (Center, Half, Cost, N) lives in the parallel FlatMeta array.
+//
+// LSq stores 4*Half*Half, the squared cell side: the acceptance test
+// l*l < theta^2*d^2 becomes one load and one compare. In binary floating
+// point (2h)*(2h) rounds to exactly 4*(h*h) — scaling by 4 commutes with
+// rounding — so precomputing it preserves bit-identical accept decisions
+// with the pointer walk's Accept.
+//
+// A cell's children occupy Kids[First : First+Count], in octant order.
+type FlatNode struct {
+	CofM  vec.V3
+	Mass  float64
+	LSq   float64 // (2*Half)^2, the squared side length
+	First int32   // first child entry in Kids
+	Count int32   // number of children (non-empty octants)
+}
+
+// FlatMeta is the cold per-cell record: build, partitioning and
+// verification data the force walk never touches.
+type FlatMeta struct {
+	Center vec.V3
+	Half   float64
+	Cost   float64
+	N      int32 // bodies in subtree
+	_      int32
+}
+
+// PosMass is the packed per-leaf interaction record: position and mass
+// in one 32-byte line-friendly struct, derived from the SoA views when a
+// build finishes so a leaf interaction touches a single cache line.
+type PosMass struct {
+	Pos  vec.V3
+	Mass float64
+}
+
+// Kid entries are tagged int32 values: a non-negative value is the index
+// of a child cell in Nodes, a negative value v is a body leaf with SoA
+// index -(v+1). (Node 0 is the root and is never a child, but kid slots
+// are never empty either — only non-empty octants get entries — so the
+// non-negative range is unambiguous.)
+
+// FlatLeaf encodes a body index as a kid-entry value.
+func FlatLeaf(body int32) int32 { return -(body + 1) }
+
+// FlatLeafBody decodes a negative kid entry back to a body index.
+func FlatLeafBody(v int32) int32 { return -v - 1 }
+
+// FlatTree is an arena-backed octree: hot cell records in Nodes (Nodes[0]
+// is the root, DFS preorder), child indices in Kids (per-cell contiguous,
+// octant order), cold cell data in Meta, and bodies in the SoA view in
+// DFS leaf order (= Morton order over the root cube, since Morton order
+// equals child-index order). All backing arrays — nodes, kids, body
+// views, sort and partition scratch, the walk stack — are retained across
+// Rebuild calls, so a tree rebuilt every time-step reaches a steady state
+// with zero allocations.
+type FlatTree struct {
+	Center vec.V3
+	Half   float64
+
+	Nodes []FlatNode
+	Meta  []FlatMeta
+	Kids  []int32
+
+	// Bodies holds the body inputs in tree (DFS/Morton) order;
+	// Bodies.ID[i] is the index of slot i in the slice Rebuild was given
+	// (or the Body.ID when the tree was converted with FromTree).
+	Bodies nbody.SoA
+
+	// PM mirrors Bodies.Pos/Bodies.Mass as packed interaction records;
+	// refreshed by PackPM after a build/conversion.
+	PM []PosMass
+
+	// Rebuild scratch, retained across steps.
+	keys    []uint64
+	keyTmp  []uint64
+	perm    []int32
+	permTmp []int32
+	scatter nbody.SoA
+
+	// Tree-owned walker for the convenience ForceOn/ForceAt entry points
+	// (which are therefore not safe for concurrent use on one FlatTree —
+	// concurrent walkers keep their own FlatWalker).
+	walker FlatWalker
+}
+
+// BuildFlat constructs a flat tree over bodies with the root cube derived
+// from their bounding box, exactly as Build does for the pointer tree.
+func BuildFlat(bodies []nbody.Body) *FlatTree {
+	ft := &FlatTree{}
+	ft.Rebuild(bodies)
+	return ft
+}
+
+// Rebuild reconstructs the tree over bodies, reusing all arenas, and
+// packs the PM interaction records for force walks.
+func (ft *FlatTree) Rebuild(bodies []nbody.Body) {
+	lo, hi := nbody.BoundingBox(bodies)
+	center, half := nbody.RootCell(lo, hi)
+	ft.RebuildWithRoot(bodies, center, half)
+	ft.PackPM()
+}
+
+// RebuildWithRoot reconstructs the tree over bodies inside the given root
+// cube (which must contain them), reusing all arenas. An empty body set
+// yields a lone empty root cell.
+//
+// It does NOT refresh the packed PM records — callers that will run
+// force walks must call PackPM() afterwards (Rebuild does); builders
+// that only read the structure (e.g. the native merged build, which
+// emits heap cells and discards the arena view) skip that pass.
+func (ft *FlatTree) RebuildWithRoot(bodies []nbody.Body, center vec.V3, half float64) {
+	n := len(bodies)
+	ft.Center, ft.Half = center, half
+	ft.Nodes = ft.Nodes[:0]
+	ft.Meta = ft.Meta[:0]
+	ft.Kids = ft.Kids[:0]
+
+	// Morton-sort a permutation of the input, then gather the SoA views
+	// in sorted order: the build below then streams over (nearly) final
+	// memory, and the finished SoA enumerates leaves in DFS order.
+	ft.ensureScratch(n)
+	for i := range bodies {
+		ft.keys[i] = Morton(bodies[i].Pos, center, half)
+		ft.perm[i] = int32(i)
+	}
+	radixSortByKey(ft.keys, ft.perm, ft.keyTmp, ft.permTmp)
+	ft.Bodies.Resize(n)
+	for j := 0; j < n; j++ {
+		i := ft.perm[j]
+		b := &bodies[i]
+		ft.Bodies.Set(j, b.Pos, b.Mass, b.Cost, i)
+	}
+
+	root := ft.newNode(center, half)
+	ft.buildRange(root, 0, int32(n), 0)
+}
+
+// PackPM derives the packed PM interaction records from the (final) SoA
+// order; the force kernels read PM, so it must run after any rebuild or
+// conversion and before the first walk.
+func (ft *FlatTree) PackPM() {
+	n := ft.Bodies.Len()
+	if cap(ft.PM) < n {
+		ft.PM = make([]PosMass, n)
+	}
+	ft.PM = ft.PM[:n]
+	for i := 0; i < n; i++ {
+		ft.PM[i] = PosMass{Pos: ft.Bodies.Pos[i], Mass: ft.Bodies.Mass[i]}
+	}
+}
+
+func (ft *FlatTree) ensureScratch(n int) {
+	if cap(ft.keys) < n {
+		ft.keys = make([]uint64, n)
+		ft.keyTmp = make([]uint64, n)
+		ft.perm = make([]int32, n)
+		ft.permTmp = make([]int32, n)
+	}
+	ft.keys = ft.keys[:n]
+	ft.keyTmp = ft.keyTmp[:n]
+	ft.perm = ft.perm[:n]
+	ft.permTmp = ft.permTmp[:n]
+	ft.scatter.Resize(n)
+}
+
+func (ft *FlatTree) newNode(center vec.V3, half float64) int32 {
+	l := 2 * half
+	ft.Nodes = append(ft.Nodes, FlatNode{LSq: l * l})
+	ft.Meta = append(ft.Meta, FlatMeta{Center: center, Half: half})
+	return int32(len(ft.Nodes) - 1)
+}
+
+// buildRange subdivides the body range [lo, hi) under node idx (whose
+// Center/Half are set) and fills its children and aggregates. The range
+// is partitioned by the same Octant test the pointer builder uses —
+// Morton order already groups octants except for float-rounding edge
+// cases near cell boundaries, so the stable scatter fallback almost
+// never runs, but it keeps the structure exactly canonical when the
+// quantized Morton grid and the geometric test disagree.
+//
+// Cells recurse in octant order immediately after their kid slot is
+// reserved, which makes the node arena DFS preorder and each cell's kid
+// entries contiguous.
+func (ft *FlatTree) buildRange(idx, lo, hi int32, depth int) {
+	if depth > flatMaxDepth {
+		panic("octree: flat build depth limit exceeded (coincident bodies?)")
+	}
+	center := ft.Meta[idx].Center
+	half := ft.Meta[idx].Half
+
+	var count [8]int32
+	inOrder := true
+	prev := -1
+	for i := lo; i < hi; i++ {
+		o := Octant(center, ft.Bodies.Pos[i])
+		count[o]++
+		if o < prev {
+			inOrder = false
+		}
+		prev = o
+	}
+	if !inOrder {
+		ft.scatterRange(lo, hi, center, count)
+	}
+
+	// Reserve this cell's kid slots before recursing so they stay
+	// contiguous while grandchildren append theirs.
+	first := int32(len(ft.Kids))
+	nkids := int32(0)
+	for oct := 0; oct < 8; oct++ {
+		if count[oct] > 0 {
+			nkids++
+		}
+	}
+	for k := int32(0); k < nkids; k++ {
+		ft.Kids = append(ft.Kids, 0)
+	}
+	ft.Nodes[idx].First = first
+	ft.Nodes[idx].Count = nkids
+
+	ki := first
+	start := lo
+	for oct := 0; oct < 8; oct++ {
+		cnt := count[oct]
+		switch {
+		case cnt == 0:
+			continue
+		case cnt == 1:
+			ft.Kids[ki] = FlatLeaf(start)
+		default:
+			cc, ch := ChildBounds(center, half, oct)
+			if ch <= 0 || math.IsNaN(ch) {
+				panic("octree: cannot split further (coincident bodies?)")
+			}
+			ci := ft.newNode(cc, ch)
+			ft.Kids[ki] = ci
+			ft.buildRange(ci, start, start+cnt, depth+1)
+		}
+		ki++
+		start += cnt
+	}
+
+	// Aggregate in octant order — the identical operation sequence as
+	// computeCofM on the pointer tree, so the values agree bit for bit.
+	var wsum vec.V3
+	var mass, cost float64
+	var nb int32
+	for k := first; k < first+nkids; k++ {
+		c := ft.Kids[k]
+		if c < 0 {
+			bi := FlatLeafBody(c)
+			m := ft.Bodies.Mass[bi]
+			wsum = wsum.AddScaled(ft.Bodies.Pos[bi], m)
+			mass += m
+			cost += ft.Bodies.Cost[bi]
+			nb++
+			continue
+		}
+		ch := &ft.Nodes[c]
+		wsum = wsum.AddScaled(ch.CofM, ch.Mass)
+		mass += ch.Mass
+		cost += ft.Meta[c].Cost
+		nb += ft.Meta[c].N
+	}
+	cofm := center
+	if mass > 0 {
+		cofm = wsum.Scale(1 / mass)
+	}
+	nd := &ft.Nodes[idx]
+	nd.CofM, nd.Mass = cofm, mass
+	mt := &ft.Meta[idx]
+	mt.Cost, mt.N = cost, nb
+}
+
+// scatterRange stably reorders the SoA range [lo, hi) into octant groups
+// (counting scatter through the scratch view, then copy back).
+func (ft *FlatTree) scatterRange(lo, hi int32, center vec.V3, count [8]int32) {
+	var at [8]int32
+	sum := int32(0)
+	for oct := 0; oct < 8; oct++ {
+		at[oct] = sum
+		sum += count[oct]
+	}
+	for i := lo; i < hi; i++ {
+		o := Octant(center, ft.Bodies.Pos[i])
+		ft.scatter.CopySlot(int(at[o]), &ft.Bodies, int(i))
+		at[o]++
+	}
+	for i := lo; i < hi; i++ {
+		ft.Bodies.CopySlot(int(i), &ft.scatter, int(i-lo))
+	}
+}
+
+// radixSortByKey sorts (keys, perm) pairs by key: LSD radix, 8-bit
+// digits, constant-byte passes skipped. Scratch slices must match the
+// input length; no allocations.
+func radixSortByKey(keys []uint64, perm []int32, keyTmp []uint64, permTmp []int32) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	var count [256]int32
+	src, dst := keys, keyTmp
+	psrc, pdst := perm, permTmp
+	swapped := false
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[(k>>shift)&0xff]++
+		}
+		if count[(src[0]>>shift)&0xff] == int32(n) {
+			continue // all keys share this byte
+		}
+		sum := int32(0)
+		for i := 0; i < 256; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i, k := range src {
+			b := (k >> shift) & 0xff
+			j := count[b]
+			count[b]++
+			dst[j] = k
+			pdst[j] = psrc[i]
+		}
+		src, dst = dst, src
+		psrc, pdst = pdst, psrc
+		swapped = !swapped
+	}
+	if swapped {
+		copy(keys, src)
+		copy(perm, psrc)
+	}
+}
+
+// FlatBatchWidth is the number of bodies that share one tree traversal
+// in the batched force kernel. Morton-adjacent bodies have almost
+// identical walks, so one descent amortizes the node loads, kid scans
+// and stack traffic across the lanes while each lane keeps its exact
+// solo interaction sequence.
+const FlatBatchWidth = 8
+
+// FlatWalker is the per-walker scratch of the force kernel: the
+// traversal stack and the gathered per-lane interaction lists. Many
+// walkers (one per thread) can traverse one read-only FlatTree
+// concurrently, each with its own FlatWalker; all buffers are retained,
+// so steady-state walks perform zero allocations.
+type FlatWalker struct {
+	stack []kidRange
+	list  [FlatBatchWidth][]PosMass
+}
+
+// kidRange is one suspended DFS frame: the kid entries [k, e) still to
+// visit in some cell, and the mask of batch lanes active there. Opening
+// a cell pushes the remainder of the current frame and continues into
+// the child's range — one push per opened cell instead of one per child.
+type kidRange struct {
+	k, e int32
+	mask uint32
+}
+
+// FlatBatch carries up to FlatBatchWidth force queries through one
+// shared traversal: fill N, Pos and Skip, call FlatWalker.ForceBatch,
+// read Acc/Phi/Inter.
+type FlatBatch struct {
+	N     int
+	Pos   [FlatBatchWidth]vec.V3
+	Skip  [FlatBatchWidth]int32 // SoA slot to exclude per lane (-1: none)
+	Acc   [FlatBatchWidth]vec.V3
+	Phi   [FlatBatchWidth]float64
+	Inter [FlatBatchWidth]int
+}
+
+// ForceOn computes the Barnes-Hut force on the body in SoA slot `body`
+// (skipping it), mirroring Tree.ForceOn: same acceptance test, same
+// interaction kernel, same DFS child order, so for equal trees the
+// results agree bit for bit. Zero allocations once the internal walker
+// has warmed up.
+func (ft *FlatTree) ForceOn(body int32, theta, eps float64) (acc vec.V3, phi float64, inter int) {
+	return ft.walker.Force(ft, ft.Bodies.Pos[body], body, theta, eps)
+}
+
+// ForceAt computes the force at an arbitrary position; skip is the SoA
+// slot to exclude (-1 for none). Uses the tree-owned walker; for
+// concurrent walks over one tree give each goroutine its own FlatWalker.
+func (ft *FlatTree) ForceAt(pos vec.V3, skip int32, theta, eps float64) (acc vec.V3, phi float64, inter int) {
+	return ft.walker.Force(ft, pos, skip, theta, eps)
+}
+
+// Force is the single-body entry point: a one-lane batch.
+func (w *FlatWalker) Force(ft *FlatTree, pos vec.V3, skip int32, theta, eps float64) (acc vec.V3, phi float64, inter int) {
+	var b FlatBatch
+	b.N = 1
+	b.Pos[0] = pos
+	b.Skip[0] = skip
+	w.ForceBatch(ft, &b, theta, eps)
+	return b.Acc[0], b.Phi[0], b.Inter[0]
+}
+
+// ForceBatch is the two-phase, batched force kernel.
+//
+// Phase 1 walks the tree once for all lanes with an explicit stack of
+// (kid range, active-lane mask) frames, gathering each lane's accepted
+// (position, mass) interaction records. A lane that accepts a cell is
+// masked out of that cell's subtree only, so every lane's record list is
+// exactly — in content and order — what its solo recursive walk would
+// interact with; Morton-adjacent lanes share almost their whole descent,
+// so node loads, kid scans and stack traffic amortize across the batch.
+//
+// Phase 2 streams each lane's contiguous list through the shared
+// Interact kernel. Splitting the phases takes the sqrt/divide chain out
+// of the shadow of the walk's data-dependent branches; because the list
+// preserves the visit order, the accumulated result is bit-identical to
+// the recursive pointer walk's.
+func (w *FlatWalker) ForceBatch(ft *FlatTree, b *FlatBatch, theta, eps float64) {
+	thetaSq := theta * theta
+	nodes := ft.Nodes
+	kids := ft.Kids
+	pm := ft.PM
+	n := b.N
+	for lane := 0; lane < n; lane++ {
+		b.Acc[lane] = vec.V3{}
+		b.Phi[lane] = 0
+		b.Inter[lane] = 0
+	}
+	if len(nodes) == 0 || len(kids) == 0 || n == 0 {
+		return // empty tree or batch: nothing to do
+	}
+	epsSq := eps * eps
+	pos := b.Pos // stack copy: keeps the per-node mask loop off &b
+	for lane := 0; lane < n; lane++ {
+		w.list[lane] = w.list[lane][:0]
+	}
+
+	// The root gets the same acceptance test the recursive walk applies
+	// to it; descents below run range-at-a-time.
+	root := &nodes[0]
+	rem := uint32(0)
+	for lane := 0; lane < n; lane++ {
+		if d2 := pos[lane].Dist2(root.CofM); root.LSq < thetaSq*d2 {
+			w.list[lane] = append(w.list[lane], PosMass{Pos: root.CofM, Mass: root.Mass})
+		} else {
+			rem |= 1 << uint(lane)
+		}
+	}
+	if rem != 0 {
+		stack := w.stack[:0]
+		cur := kidRange{root.First, root.First + root.Count, rem}
+		for {
+			if cur.k >= cur.e {
+				if len(stack) == 0 {
+					break
+				}
+				cur = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			c := kids[cur.k]
+			cur.k++
+			if c < 0 {
+				bi := FlatLeafBody(c)
+				p := pm[bi]
+				for m := cur.mask; m != 0; m &= m - 1 {
+					lane := bits.TrailingZeros32(m)
+					if bi == b.Skip[lane] {
+						continue
+					}
+					w.list[lane] = append(w.list[lane], p)
+				}
+				continue
+			}
+			nd := &nodes[c]
+			// Inlined Accept per lane: l*l < theta^2 * d^2, in squared
+			// form, with l*l precomputed as LSq. Accepting masks the lane
+			// out of this subtree only — siblings keep the frame's mask.
+			open := uint32(0)
+			for m := cur.mask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros32(m)
+				d2 := pos[lane].Dist2(nd.CofM)
+				if nd.LSq < thetaSq*d2 {
+					w.list[lane] = append(w.list[lane], PosMass{Pos: nd.CofM, Mass: nd.Mass})
+				} else {
+					open |= 1 << uint(lane)
+				}
+			}
+			if open == 0 {
+				continue
+			}
+			// Open the cell: suspend the rest of this frame, continue in
+			// the child's kid range — exactly the recursive DFS order.
+			if cur.k < cur.e {
+				stack = append(stack, cur)
+			}
+			cur = kidRange{nd.First, nd.First + nd.Count, open}
+		}
+		w.stack = stack[:0]
+	}
+
+	// Phase 2: stream each lane's contiguous list through the shared
+	// Interact kernel.
+	for lane := 0; lane < n; lane++ {
+		list := w.list[lane]
+		p := pos[lane]
+		var acc vec.V3
+		var phi float64
+		for i := range list {
+			da, dp := nbody.Interact(p, list[i].Pos, list[i].Mass, epsSq)
+			acc = acc.Add(da)
+			phi += dp
+		}
+		b.Acc[lane], b.Phi[lane], b.Inter[lane] = acc, phi, len(list)
+	}
+}
+
+// SolveInto runs the full flat Barnes-Hut force computation and scatters
+// Acc, Phi and Cost (interaction counts) back to bodies — the flat
+// counterpart of Solve. The tree must have been built over bodies (so
+// Bodies.ID indexes into it). Bodies are walked in Morton order in
+// batches of FlatBatchWidth, so consecutive lanes share their descent.
+func (ft *FlatTree) SolveInto(bodies []nbody.Body, theta, eps float64) {
+	var fb FlatBatch
+	n := ft.Bodies.Len()
+	for j := 0; j < n; j += FlatBatchWidth {
+		wdt := FlatBatchWidth
+		if n-j < wdt {
+			wdt = n - j
+		}
+		fb.N = wdt
+		for lane := 0; lane < wdt; lane++ {
+			fb.Pos[lane] = ft.Bodies.Pos[j+lane]
+			fb.Skip[lane] = int32(j + lane)
+		}
+		ft.walker.ForceBatch(ft, &fb, theta, eps)
+		for lane := 0; lane < wdt; lane++ {
+			b := &bodies[ft.Bodies.ID[j+lane]]
+			b.Acc = fb.Acc[lane]
+			b.Phi = fb.Phi[lane]
+			b.Cost = float64(fb.Inter[lane])
+		}
+	}
+}
+
+// SolveFlat is the drop-in flat equivalent of Solve: build a flat tree
+// over bodies and write forces in place.
+func SolveFlat(bodies []nbody.Body, theta, eps float64) {
+	ft := BuildFlat(bodies)
+	ft.SolveInto(bodies, theta, eps)
+}
+
+// KidOctant derives which octant of parent cell p a kid entry occupies
+// (kid geometry determines it: a cell child's center, a leaf's position).
+func (ft *FlatTree) KidOctant(p int32, kid int32) int {
+	if kid < 0 {
+		return Octant(ft.Meta[p].Center, ft.Bodies.Pos[FlatLeafBody(kid)])
+	}
+	return Octant(ft.Meta[p].Center, ft.Meta[kid].Center)
+}
+
+// FlatFromTree converts a pointer tree (with aggregates computed) into a
+// fresh flat tree: DFS preorder, octant child order, aggregate values
+// copied verbatim. Bodies.ID carries each leaf's Body.ID.
+func FlatFromTree(t *Tree) *FlatTree {
+	ft := &FlatTree{}
+	ft.FromTree(t)
+	return ft
+}
+
+// FromTree rebuilds ft from a pointer tree, reusing arenas.
+func (ft *FlatTree) FromTree(t *Tree) {
+	ft.Center, ft.Half = t.Root.Center, t.Root.Half
+	ft.Nodes = ft.Nodes[:0]
+	ft.Meta = ft.Meta[:0]
+	ft.Kids = ft.Kids[:0]
+	ft.Bodies.Resize(0)
+	ft.convCell(t.Root)
+	ft.PackPM()
+}
+
+func (ft *FlatTree) convCell(n *Node) int32 {
+	idx := ft.newNode(n.Center, n.Half)
+	first := int32(len(ft.Kids))
+	nkids := int32(0)
+	for _, ch := range n.Child {
+		if ch != nil {
+			nkids++
+		}
+	}
+	for k := int32(0); k < nkids; k++ {
+		ft.Kids = append(ft.Kids, 0)
+	}
+	ft.Nodes[idx].First = first
+	ft.Nodes[idx].Count = nkids
+	ki := first
+	for _, ch := range n.Child {
+		if ch == nil {
+			continue
+		}
+		if ch.IsLeaf() {
+			b := ch.Body
+			bi := ft.Bodies.Len()
+			ft.Bodies.Resize(bi + 1)
+			ft.Bodies.Set(bi, b.Pos, b.Mass, b.Cost, b.ID)
+			ft.Kids[ki] = FlatLeaf(int32(bi))
+		} else {
+			ft.Kids[ki] = ft.convCell(ch)
+		}
+		ki++
+	}
+	nd := &ft.Nodes[idx]
+	nd.CofM, nd.Mass = n.CofM, n.Mass
+	mt := &ft.Meta[idx]
+	mt.Cost, mt.N = n.Cost, int32(n.N)
+	return idx
+}
+
+// ToTree converts the flat tree back into a pointer tree with freshly
+// allocated nodes and body records (Pos/Mass/Cost/ID populated from the
+// SoA views); aggregates are copied verbatim. The result satisfies
+// Tree.Verify for any structurally valid flat tree.
+func (ft *FlatTree) ToTree() *Tree {
+	bodies := make([]nbody.Body, ft.Bodies.Len())
+	for i := range bodies {
+		bodies[i] = nbody.Body{
+			Pos:  ft.Bodies.Pos[i],
+			Mass: ft.Bodies.Mass[i],
+			Cost: ft.Bodies.Cost[i],
+			ID:   ft.Bodies.ID[i],
+		}
+	}
+	t := &Tree{Leaf: len(bodies)}
+	t.Root = ft.convNode(0, bodies)
+	t.Cells = len(ft.Nodes)
+	return t
+}
+
+func (ft *FlatTree) convNode(idx int32, bodies []nbody.Body) *Node {
+	fn := &ft.Nodes[idx]
+	mt := &ft.Meta[idx]
+	n := &Node{
+		Center: mt.Center, Half: mt.Half,
+		CofM: fn.CofM, Mass: fn.Mass, Cost: mt.Cost, N: int(mt.N),
+	}
+	for k := fn.First; k < fn.First+fn.Count; k++ {
+		c := ft.Kids[k]
+		oct := ft.KidOctant(idx, c)
+		if c < 0 {
+			b := &bodies[FlatLeafBody(c)]
+			n.Child[oct] = &Node{
+				Body: b, CofM: b.Pos, Mass: b.Mass, Cost: b.Cost, N: 1,
+			}
+		} else {
+			n.Child[oct] = ft.convNode(c, bodies)
+		}
+	}
+	return n
+}
+
+// Verify checks the flat tree's structural invariants and returns the
+// first violation: DFS-preorder node layout, contiguous per-cell kid
+// ranges in strictly increasing octant order, leaves numbered in DFS
+// order, child cube nesting, body containment, additive aggregates, and
+// full single-visit coverage of all three arenas.
+func (ft *FlatTree) Verify() error {
+	if len(ft.Nodes) == 0 {
+		return fmt.Errorf("flat octree: no root node")
+	}
+	if len(ft.Nodes) != len(ft.Meta) {
+		return fmt.Errorf("flat octree: %d nodes but %d meta records", len(ft.Nodes), len(ft.Meta))
+	}
+	if ft.Meta[0].Center != ft.Center || ft.Meta[0].Half != ft.Half {
+		return fmt.Errorf("flat octree: root cube (%v,%g) != tree cube (%v,%g)",
+			ft.Meta[0].Center, ft.Meta[0].Half, ft.Center, ft.Half)
+	}
+	nextNode := int32(1)
+	nextBody := int32(0)
+	kidsSeen := int32(0)
+	var walk func(idx int32) error
+	walk = func(idx int32) error {
+		nd := &ft.Nodes[idx]
+		mt := &ft.Meta[idx]
+		if nd.Count < 0 || int(nd.First+nd.Count) > len(ft.Kids) {
+			return fmt.Errorf("flat octree: cell %d kid range [%d,%d) out of bounds", idx, nd.First, nd.First+nd.Count)
+		}
+		kidsSeen += nd.Count
+		var mass, cost float64
+		var count int32
+		var wsum vec.V3
+		prevOct := -1
+		for k := nd.First; k < nd.First+nd.Count; k++ {
+			c := ft.Kids[k]
+			oct := ft.KidOctant(idx, c)
+			if oct <= prevOct {
+				return fmt.Errorf("flat octree: cell %d kids not in strictly increasing octant order", idx)
+			}
+			prevOct = oct
+			cc, chalf := ChildBounds(mt.Center, mt.Half, oct)
+			if c < 0 {
+				bi := FlatLeafBody(c)
+				if bi != nextBody {
+					return fmt.Errorf("flat octree: leaf body %d out of DFS order (want %d)", bi, nextBody)
+				}
+				nextBody++
+				if !Contains(cc, chalf, ft.Bodies.Pos[bi]) {
+					return fmt.Errorf("flat octree: body %d outside its octant", bi)
+				}
+				mass += ft.Bodies.Mass[bi]
+				cost += ft.Bodies.Cost[bi]
+				count++
+				wsum = wsum.AddScaled(ft.Bodies.Pos[bi], ft.Bodies.Mass[bi])
+				continue
+			}
+			if c != nextNode {
+				return fmt.Errorf("flat octree: cell %d out of DFS order (want %d)", c, nextNode)
+			}
+			nextNode++
+			ch := &ft.Nodes[c]
+			cm := &ft.Meta[c]
+			if cm.Center != cc || cm.Half != chalf {
+				return fmt.Errorf("flat octree: child %d bounds mismatch: got (%v,%g) want (%v,%g)",
+					oct, cm.Center, cm.Half, cc, chalf)
+			}
+			if l := 2 * cm.Half; ch.LSq != l*l {
+				return fmt.Errorf("flat octree: child %d LSq %g != (2*half)^2 %g", oct, ch.LSq, l*l)
+			}
+			if cm.N < 2 {
+				return fmt.Errorf("flat octree: non-root cell %d holds %d bodies (canonical cells hold >= 2)", c, cm.N)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+			mass += ch.Mass
+			cost += cm.Cost
+			count += cm.N
+			wsum = wsum.AddScaled(ch.CofM, ch.Mass)
+		}
+		if mt.N != count {
+			return fmt.Errorf("flat octree: cell %d body count %d != children sum %d", idx, mt.N, count)
+		}
+		if relDiff(mass, nd.Mass) > 1e-12 {
+			return fmt.Errorf("flat octree: cell %d mass %g != children sum %g", idx, nd.Mass, mass)
+		}
+		if relDiff(cost, mt.Cost) > 1e-12 {
+			return fmt.Errorf("flat octree: cell %d cost %g != children sum %g", idx, mt.Cost, cost)
+		}
+		if nd.Mass > 0 {
+			cofm := wsum.Scale(1 / nd.Mass)
+			if cofm.Sub(nd.CofM).Len() > 1e-9*(1+nd.CofM.Len()) {
+				return fmt.Errorf("flat octree: cell %d cofm %v != children aggregate %v", idx, nd.CofM, cofm)
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return err
+	}
+	if int(nextNode) != len(ft.Nodes) {
+		return fmt.Errorf("flat octree: %d of %d cells reachable", nextNode, len(ft.Nodes))
+	}
+	if int(nextBody) != ft.Bodies.Len() {
+		return fmt.Errorf("flat octree: %d of %d bodies reachable", nextBody, ft.Bodies.Len())
+	}
+	if int(kidsSeen) != len(ft.Kids) {
+		return fmt.Errorf("flat octree: %d of %d kid entries reachable", kidsSeen, len(ft.Kids))
+	}
+	return nil
+}

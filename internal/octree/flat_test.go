@@ -1,0 +1,295 @@
+package octree
+
+import (
+	"math"
+	"testing"
+
+	"upcbh/internal/nbody"
+	"upcbh/internal/rng"
+	"upcbh/internal/vec"
+)
+
+// ulpTol is the "1 ulp-scale" relative tolerance for aggregate
+// comparisons. Build paths are constructed to use the identical
+// operation order, so the expected divergence is exactly zero; the
+// tolerance only shields against FMA-contraction differences between
+// inlined copies of the same expressions on some architectures.
+const ulpTol = 1e-15
+
+func relClose(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*(1+m)
+}
+
+func vecClose(a, b vec.V3, tol float64) bool {
+	return a.Sub(b).Len() <= tol*(1+b.Len())
+}
+
+// assertFlatMatchesPointer checks full structural + aggregate equivalence
+// between a flat tree and a pointer tree over the same bodies: same DFS
+// node sequence, same octant child shapes, same leaf (Morton/DFS) order,
+// and bit-scale-identical aggregates.
+func assertFlatMatchesPointer(t *testing.T, ft *FlatTree, pt *Tree, bodies []nbody.Body) {
+	t.Helper()
+	if err := ft.Verify(); err != nil {
+		t.Fatalf("flat Verify: %v", err)
+	}
+	if err := pt.Verify(); err != nil {
+		t.Fatalf("pointer Verify: %v", err)
+	}
+	if len(ft.Nodes) != pt.Cells {
+		t.Fatalf("cell count: flat %d, pointer %d", len(ft.Nodes), pt.Cells)
+	}
+	if ft.Bodies.Len() != pt.Leaf {
+		t.Fatalf("leaf count: flat %d, pointer %d", ft.Bodies.Len(), pt.Leaf)
+	}
+
+	nextNode := int32(0)
+	nextBody := int32(0)
+	var walk func(pn *Node)
+	walk = func(pn *Node) {
+		idx := nextNode
+		nextNode++
+		fn := &ft.Nodes[idx]
+		mt := &ft.Meta[idx]
+		if mt.Center != pn.Center || mt.Half != pn.Half {
+			t.Fatalf("node %d cube mismatch: flat (%v,%g) pointer (%v,%g)",
+				idx, mt.Center, mt.Half, pn.Center, pn.Half)
+		}
+		if l := 2 * pn.Half; fn.LSq != l*l {
+			t.Fatalf("node %d LSq %g != (2*half)^2 %g", idx, fn.LSq, l*l)
+		}
+		if !vecClose(fn.CofM, pn.CofM, ulpTol) || !relClose(fn.Mass, pn.Mass, ulpTol) ||
+			!relClose(mt.Cost, pn.Cost, ulpTol) || int(mt.N) != pn.N {
+			t.Fatalf("node %d aggregates mismatch: flat {cofm %v m %v c %v n %d} pointer {cofm %v m %v c %v n %d}",
+				idx, fn.CofM, fn.Mass, mt.Cost, mt.N, pn.CofM, pn.Mass, pn.Cost, pn.N)
+		}
+		k := fn.First
+		end := fn.First + fn.Count
+		for oct, pch := range pn.Child {
+			if pch == nil {
+				continue
+			}
+			if k >= end {
+				t.Fatalf("node %d: pointer has a child in oct %d beyond flat kid range", idx, oct)
+			}
+			fc := ft.Kids[k]
+			if got := ft.KidOctant(idx, fc); got != oct {
+				t.Fatalf("node %d kid %d: flat octant %d, pointer octant %d", idx, k, got, oct)
+			}
+			k++
+			if pch.IsLeaf() {
+				if fc >= 0 {
+					t.Fatalf("node %d oct %d: flat child %d is not a leaf", idx, oct, fc)
+				}
+				bi := FlatLeafBody(fc)
+				if bi != nextBody {
+					t.Fatalf("leaf order: flat body %d, expected DFS position %d", bi, nextBody)
+				}
+				nextBody++
+				if ft.Bodies.Pos[bi] != pch.Body.Pos || ft.Bodies.Mass[bi] != pch.Body.Mass {
+					t.Fatalf("leaf %d body mismatch", bi)
+				}
+				// The flat leaf must refer back to the same input body.
+				orig := ft.Bodies.ID[bi]
+				if bodies != nil && &bodies[orig] != pch.Body {
+					t.Fatalf("leaf %d maps to input body %d, pointer leaf holds a different body", bi, orig)
+				}
+				continue
+			}
+			if fc < 0 {
+				t.Fatalf("node %d oct %d: flat child %d is not a cell", idx, oct, fc)
+			}
+			walk(pch)
+		}
+		if k != end {
+			t.Fatalf("node %d: flat has %d extra kids beyond the pointer children", idx, end-k)
+		}
+	}
+	walk(pt.Root)
+	if int(nextNode) != len(ft.Nodes) {
+		t.Fatalf("visited %d of %d flat cells", nextNode, len(ft.Nodes))
+	}
+}
+
+func TestFlatMatchesPointerScenarios(t *testing.T) {
+	for _, scn := range nbody.ScenarioNames() {
+		for _, n := range []int{1, 2, 3, 17, 256, 2048} {
+			bodies, err := nbody.GenerateScenario(scn, n, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt := Build(bodies)
+			ft := BuildFlat(bodies)
+			t.Run(scn, func(t *testing.T) { assertFlatMatchesPointer(t, ft, pt, bodies) })
+		}
+	}
+}
+
+// TestFlatForceMatchesPointer pins the walk-order contract: for equal
+// trees the flat kernel's accumulation sequence is identical to the
+// recursive pointer walk, so forces agree to ulp scale for every body.
+func TestFlatForceMatchesPointer(t *testing.T) {
+	bodies := nbody.Plummer(1024, 3)
+	pt := Build(bodies)
+	ft := BuildFlat(bodies)
+	for _, theta := range []float64{0.3, 1.0, 1.8} {
+		for j := 0; j < ft.Bodies.Len(); j++ {
+			orig := ft.Bodies.ID[j]
+			pacc, pphi, pinter := pt.ForceOn(&bodies[orig], theta, 0.05)
+			facc, fphi, finter := ft.ForceOn(int32(j), theta, 0.05)
+			if finter != pinter {
+				t.Fatalf("theta=%g body %d: interaction count flat %d pointer %d", theta, orig, finter, pinter)
+			}
+			if !vecClose(facc, pacc, ulpTol) || !relClose(fphi, pphi, ulpTol) {
+				t.Fatalf("theta=%g body %d: acc flat %v pointer %v, phi flat %g pointer %g",
+					theta, orig, facc, pacc, fphi, pphi)
+			}
+		}
+	}
+}
+
+func TestSolveFlatMatchesSolve(t *testing.T) {
+	ref := nbody.Plummer(512, 11)
+	flat := nbody.Plummer(512, 11)
+	Solve(ref, 1.0, 0.05)
+	SolveFlat(flat, 1.0, 0.05)
+	for i := range ref {
+		if !vecClose(flat[i].Acc, ref[i].Acc, ulpTol) || !relClose(flat[i].Phi, ref[i].Phi, ulpTol) ||
+			flat[i].Cost != ref[i].Cost {
+			t.Fatalf("body %d: flat {acc %v phi %g cost %g} ref {acc %v phi %g cost %g}",
+				i, flat[i].Acc, flat[i].Phi, flat[i].Cost, ref[i].Acc, ref[i].Phi, ref[i].Cost)
+		}
+	}
+}
+
+// TestFlatConversionsRoundTrip exercises FromTree/ToTree: a flat tree
+// built from a pointer tree is equivalent to the directly built one, and
+// converting back yields a tree that passes pointer verification with
+// identical aggregates.
+func TestFlatConversionsRoundTrip(t *testing.T) {
+	bodies := nbody.Plummer(777, 5)
+	pt := Build(bodies)
+	ft := FlatFromTree(pt)
+	assertFlatMatchesPointer(t, ft, pt, nil)
+
+	back := ft.ToTree()
+	if err := back.Verify(); err != nil {
+		t.Fatalf("round-tripped tree Verify: %v", err)
+	}
+	if back.Cells != pt.Cells || back.Leaf != pt.Leaf {
+		t.Fatalf("round-trip counts: got (%d,%d) want (%d,%d)", back.Cells, back.Leaf, pt.Cells, pt.Leaf)
+	}
+	// And the direct build equals the conversion (same canonical tree).
+	ft2 := BuildFlat(bodies)
+	assertFlatMatchesPointer(t, ft2, back, nil)
+}
+
+// TestFlatRebuildReusesArenas pins the arena contract: rebuilding over a
+// same-sized body set allocates nothing.
+func TestFlatRebuildReusesArenas(t *testing.T) {
+	bodies := nbody.Plummer(2048, 9)
+	ft := BuildFlat(bodies)
+	allocs := testing.AllocsPerRun(10, func() {
+		// Jitter positions so every rebuild does real work.
+		for i := range bodies {
+			bodies[i].Pos = bodies[i].Pos.AddScaled(bodies[i].Vel, 1e-3)
+		}
+		ft.Rebuild(bodies)
+	})
+	if allocs > 0 {
+		t.Errorf("Rebuild allocated %.1f objects/op in steady state, want 0", allocs)
+	}
+}
+
+// TestFlatForceOnZeroAlloc is the allocation-regression gate for the hot
+// kernel: after stack warmup, ForceOn performs zero allocations.
+func TestFlatForceOnZeroAlloc(t *testing.T) {
+	bodies := nbody.Plummer(4096, 1)
+	ft := BuildFlat(bodies)
+	ft.ForceOn(0, 1.0, 0.05) // warm the walk stack
+	j := int32(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		ft.ForceOn(j%int32(ft.Bodies.Len()), 1.0, 0.05)
+		j++
+	})
+	if allocs > 0 {
+		t.Errorf("flat ForceOn allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRadixSortByKey(t *testing.T) {
+	r := rng.New(42)
+	for _, n := range []int{0, 1, 2, 3, 100, 4096} {
+		keys := make([]uint64, n)
+		perm := make([]int32, n)
+		orig := make([]uint64, n)
+		for i := range keys {
+			keys[i] = r.Uint64() >> (r.Uint64() % 40) // mixed magnitudes
+			orig[i] = keys[i]
+			perm[i] = int32(i)
+		}
+		radixSortByKey(keys, perm, make([]uint64, n), make([]int32, n))
+		for i := 1; i < n; i++ {
+			if keys[i-1] > keys[i] {
+				t.Fatalf("n=%d: keys[%d]=%d > keys[%d]=%d", n, i-1, keys[i-1], i, keys[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			if orig[perm[i]] != keys[i] {
+				t.Fatalf("n=%d: perm[%d] inconsistent", n, i)
+			}
+		}
+	}
+}
+
+// FuzzFlatEquivalence drives the property through arbitrary body sets:
+// for any (separable) positions, the arena tree is structurally
+// equivalent to the pointer tree, passes both verifiers, and produces
+// ulp-identical forces.
+func FuzzFlatEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(8), int64(0))
+	f.Add(uint64(99), uint16(100), int64(1<<40))
+	f.Add(uint64(7), uint16(2), int64(-12345))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, rawBits int64) {
+		n := int(nRaw)%200 + 2
+		r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+		bodies := make([]nbody.Body, n)
+		for i := range bodies {
+			// Mix smooth random positions with a fuzz-controlled raw
+			// coordinate to probe cell-boundary rounding.
+			bodies[i].Pos = vec.V3{X: r.Range(-8, 8), Y: r.Range(-8, 8), Z: r.Range(-8, 8)}
+			bodies[i].Mass = r.Range(0.1, 2)
+			bodies[i].Cost = float64(r.Intn(5))
+			bodies[i].ID = int32(i)
+		}
+		fv := math.Float64frombits(uint64(rawBits))
+		if !math.IsNaN(fv) && !math.IsInf(fv, 0) && math.Abs(fv) < 8 {
+			bodies[0].Pos.X = fv
+		}
+		// Reject coincident positions (both builders panic on them, by
+		// contract).
+		seen := map[vec.V3]bool{}
+		for i := range bodies {
+			for seen[bodies[i].Pos] {
+				bodies[i].Pos.X += 1e-9 * (1 + math.Abs(bodies[i].Pos.X))
+			}
+			seen[bodies[i].Pos] = true
+		}
+		pt := Build(bodies)
+		ft := BuildFlat(bodies)
+		assertFlatMatchesPointer(t, ft, pt, bodies)
+
+		// Spot-check forces on a few bodies.
+		for j := 0; j < ft.Bodies.Len(); j += 17 {
+			orig := ft.Bodies.ID[j]
+			pacc, pphi, pinter := pt.ForceOn(&bodies[orig], 0.8, 0.05)
+			facc, fphi, finter := ft.ForceOn(int32(j), 0.8, 0.05)
+			if finter != pinter || !vecClose(facc, pacc, ulpTol) || !relClose(fphi, pphi, ulpTol) {
+				t.Fatalf("body %d: flat force {%v %g %d} != pointer {%v %g %d}",
+					orig, facc, fphi, finter, pacc, pphi, pinter)
+			}
+		}
+	})
+}

@@ -88,6 +88,12 @@ func (op Op) apply(a, b float64) float64 {
 func AllReduceF64(t *Thread, v float64, op Op) float64 {
 	t.stats.Collectives++
 	cost := t.rt.cost.collectiveCost(t, 8)
+	if t.rt.n == 1 {
+		// Single-thread fast path: same charge as the rendezvous would
+		// align to (max-of-one clock plus cost), no interface boxing.
+		t.ChargeRaw(cost)
+		return v
+	}
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		acc := slots[0].(float64)
 		for _, s := range slots[1:] {
@@ -102,10 +108,16 @@ func AllReduceF64(t *Thread, v float64, op Op) float64 {
 // AllReduceVecF64 is the vector reduce&broadcast the paper identifies as
 // critical for the subspace tree-building algorithm (§6): one collective
 // combines a whole level's worth of costs. The input slice is not
-// modified; all threads receive the same freshly allocated result.
+// modified; all threads receive the same shared read-only result — a
+// fresh allocation with multiple threads, the input slice itself at
+// THREADS==1 (treat it as read-only either way).
 func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 	t.stats.Collectives++
 	cost := t.rt.cost.collectiveCost(t, 8*len(v))
+	if t.rt.n == 1 {
+		t.ChargeRaw(cost)
+		return v
+	}
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		first := slots[0].([]float64)
 		acc := make([]float64, len(first))
@@ -129,6 +141,10 @@ func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 func Broadcast[T any](t *Thread, root int, v T) T {
 	t.stats.Collectives++
 	cost := t.rt.cost.collectiveCost(t, payloadBytes(v))
+	if t.rt.n == 1 {
+		t.ChargeRaw(cost)
+		return v
+	}
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		return slots[root]
 	})
@@ -141,6 +157,10 @@ func Broadcast[T any](t *Thread, root int, v T) T {
 func AllGather[T any](t *Thread, v T) []T {
 	t.stats.Collectives++
 	cost := t.rt.cost.collectiveCost(t, payloadBytes(v)*t.rt.n)
+	if t.rt.n == 1 {
+		t.ChargeRaw(cost)
+		return []T{v}
+	}
 	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
 		out := make([]T, len(slots))
 		for i, s := range slots {
@@ -165,6 +185,12 @@ func AllToAll[T any](t *Thread, send [][]T) [][]T {
 		panic("upc: AllToAll send matrix must have THREADS rows")
 	}
 	t.stats.Collectives++
+	if t.rt.n == 1 {
+		// Same charge as the general path degenerates to at one thread:
+		// no messages, no volume, the two latency terms.
+		t.ChargeRaw(2 * t.rt.mach.Par.Latency)
+		return [][]T{send[0]}
+	}
 	res, clock := t.rt.coll.exchange(t, send, 0, func(slots []any) any {
 		out := make([][][]T, len(slots))
 		for i, s := range slots {

@@ -118,6 +118,45 @@ func TestDifferentialMatrix(t *testing.T) {
 	}
 }
 
+// TestFlatVsPointerPerScenario adds the flat-vs-pointer axis to the
+// differential matrix: for each scenario, the native backend's flat
+// paths (arena local build + flat-snapshot force kernel) must produce
+// the same physics as the pointer/NodeRef paths (DisableFlat) within
+// FP-reordering tolerance, at both a merged-build and the fully
+// optimized subspace level, and both variants must satisfy the direct-
+// sum oracle.
+func TestFlatVsPointerPerScenario(t *testing.T) {
+	runner := newVerifyRunner()
+	for _, scenario := range matrixScenarios(t) {
+		for _, level := range []core.Level{core.LevelMergedBuild, core.LevelSubspace} {
+			scenario, level := scenario, level
+			t.Run(fmt.Sprintf("%s/%s", scenario, level), func(t *testing.T) {
+				flatOpts := matrixOptions(scenario, level, core.ModeNative)
+				ptrOpts := flatOpts
+				ptrOpts.DisableFlat = true
+				flat, _, err := runner.Run(flatOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ptr, _, err := runner.Run(ptrOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := verify.MaxAccDivergence(flat.Bodies, ptr.Bodies); d > pairwiseTol {
+					t.Errorf("flat vs pointer acceleration divergence: %g > %g", d, pairwiseTol)
+				}
+				for name, res := range map[string]*core.Result{"flat": flat, "pointer": ptr} {
+					maxRel, rms := verify.ForceErrors(res.Bodies, flatOpts.Eps, flatOpts.Dt)
+					if maxRel > oracleMaxRelTol || rms > oracleRMSTol {
+						t.Errorf("%s variant vs direct sum: maxRel %g (tol %g), rms %g (tol %g)",
+							name, maxRel, oracleMaxRelTol, rms, oracleRMSTol)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestModeAgreementPerScenario closes the remaining seam the matrix
 // checks only indirectly: for each scenario, the Native backend's final
 // accelerations match the Simulate backend's bit-for-bit up to
