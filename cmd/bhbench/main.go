@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"upcbh/internal/bench"
@@ -41,8 +42,44 @@ func main() {
 		modeS    = flag.String("mode", "simulate", "execution backend: simulate | native (cost-model experiments — table9, fig12, ext-cache, ext-mpi — always run simulated; ext-native always runs both)")
 		scenS    = flag.String("scenario", "", "workload scenario for every experiment: plummer|two-plummer|uniform|clustered|disk (default plummer; the imbalance experiment sweeps all of them)")
 		verbose  = flag.Bool("v", false, "print per-experiment timing and per-run progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile covering all experiment execution to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken after all experiments) to this file")
 	)
 	flag.Parse()
+
+	// Profiling brackets the experiment loop below so future perf PRs can
+	// attach pprof evidence: bhbench -exp all -cpuprofile cpu.out, then
+	// `go tool pprof` on the result.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("Available experiments (bhbench -exp <id>):")

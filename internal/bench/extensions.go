@@ -31,6 +31,7 @@ func extensionExperiments() []Experiment {
 		},
 		imbalanceExperiment(),
 		layoutExperiment(),
+		schedExperiment(),
 	}
 }
 

@@ -17,9 +17,15 @@ import (
 //     speedup/efficiency figures largely share configs). Concurrent
 //     requests for the same key coalesce onto one execution.
 //   - Bounded parallelism: independent ModeSimulate configurations run
-//     concurrently on a worker pool sized to the host's cores. ModeNative
-//     configurations measure real wall-clock phase times, so they take the
-//     pool exclusively — no simulation may co-run and pollute the timing.
+//     concurrently on a worker pool sized to the host's cores. Under the
+//     cooperative virtual-time scheduler each simulate run executes on
+//     exactly one OS thread at a time (emulated threads park on their
+//     gates), so a pool of NumCPU workers saturates the host without
+//     goroutine oversubscription even at 512+ emulated threads per run —
+//     the old goroutine-per-thread backend put workers × THREADS runnable
+//     goroutines on the scheduler. ModeNative configurations measure real
+//     wall-clock phase times, so they take the pool exclusively — no
+//     simulation may co-run and pollute the timing.
 //
 // A Runner is safe for concurrent use and is normally shared across every
 // experiment of a bhbench invocation.
@@ -95,7 +101,11 @@ func execRun(opts core.Options) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run()
+	res, err := sim.Run()
+	// The Result copies all state out of the Sim, so the heap storage
+	// can go back to the recycling pools for the next configuration.
+	sim.Release()
+	return res, err
 }
 
 // Workers returns the worker-pool width.

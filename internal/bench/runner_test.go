@@ -178,6 +178,44 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelMatchesSerial112 extends the parallel-vs-serial pin to
+// multi-thread configurations: under the cooperative virtual-time
+// scheduler EVERY simulate run is bit-exact deterministic (the old
+// goroutine backend only guaranteed this at one UPC thread), so a
+// 112-thread table must also be byte-identical between a 1-worker and a
+// many-worker Runner — the `-parallel` flag must never change output.
+func TestParallelMatchesSerial112(t *testing.T) {
+	render := func(workers int) string {
+		r := NewRunner(workers)
+		x := &Exec{R: r, P: Params{Scale: 1}}
+		var opts []core.Options
+		for _, scen := range []string{"plummer", "clustered"} {
+			for _, level := range []core.Level{core.LevelBaseline, core.LevelSubspace} {
+				o := core.DefaultOptions(768, 112, level)
+				o.Scenario = scen
+				o.Steps, o.Warmup = 2, 1
+				opts = append(opts, o)
+			}
+		}
+		results, err := x.runAll(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i, res := range results {
+			pt := PhaseTable{Title: opts[i].Key(), Threads: []int{112}, Results: []*core.Result{res}}
+			b.WriteString(pt.Format())
+			b.WriteString(pt.CSV())
+		}
+		return b.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("112-thread parallel tables differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 // TestReportJSONRoundTrip: the -json serialization contract. A report
 // marshals, unmarshals, and preserves identification, config keys, and
 // phase times exactly (float64s survive via Go's shortest-round-trip

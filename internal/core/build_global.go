@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
 	"upcbh/internal/nbody"
@@ -156,7 +155,7 @@ func (s *Sim) cofmGlobal(t *upc.Thread, st *tstate) {
 			case slot.IsNil():
 				continue
 			case slot.IsBody():
-				b := s.bodies.GetBytes(t, slot.Ref(), bytesBodyCost)
+				b := s.bodies.ReadView(t, slot.Ref(), bytesBodyCost)
 				wsum = wsum.AddScaled(b.Pos, b.Mass)
 				mass += b.Mass
 				cost += b.Cost
@@ -174,13 +173,17 @@ func (s *Sim) cofmGlobal(t *upc.Thread, st *tstate) {
 					}
 					polls++
 					s.cells.Touch(t, chR, 4)
-					runtime.Gosched()
+					// Offer the baton to lower-clock peers (cooperative
+					// simulate) or the OS scheduler (native): each failed
+					// poll is charged, so the spin converges in virtual
+					// time and the poll count is deterministic.
+					t.SpinYield()
 				}
 				if polls > 0 {
 					t.AdvanceTo(chP.DoneAt)
 					s.cells.Touch(t, chR, 4)
 				}
-				agg := s.cells.GetBytes(t, chR, bytesAgg)
+				agg := s.cells.ReadView(t, chR, bytesAgg)
 				wsum = wsum.AddScaled(agg.CofM, agg.Mass)
 				mass += agg.Mass
 				cost += agg.Cost
@@ -211,7 +214,7 @@ func (s *Sim) cofmGlobal(t *upc.Thread, st *tstate) {
 func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 	rootNR := s.readRoot(t, st)
 	rootRef := rootNR.Ref()
-	total := s.cells.GetBytes(t, rootRef, bytesAgg).Cost
+	total := s.cells.ReadView(t, rootRef, bytesAgg).Cost
 	if total <= 0 {
 		total = float64(s.o.Bodies)
 	}
@@ -225,7 +228,7 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 		nr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if nr.IsBody() {
-			b := s.bodies.GetBytes(t, nr.Ref(), bytesBodyCost)
+			b := s.bodies.ReadView(t, nr.Ref(), bytesBodyCost)
 			c := b.Cost
 			if c <= 0 {
 				c = 1
@@ -239,7 +242,7 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 			t.Charge(s.par.LocalDerefCost)
 			continue
 		}
-		cell := s.cells.Get(t, nr.Ref())
+		cell := s.cells.ReadView(t, nr.Ref(), cellBytes)
 		if prefix+cell.Cost <= lo || prefix >= hi {
 			prefix += cell.Cost
 			continue // disjoint subtree: prune

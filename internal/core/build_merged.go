@@ -208,7 +208,7 @@ func (s *Sim) mergeCell(t *upc.Thread, st *tstate, gRef, lRef upc.Ref, center ve
 					continue slotLoop
 				}
 				oldR := slot.Ref()
-				old := s.bodies.GetBytes(t, oldR, bytesBodyCost)
+				old := s.bodies.ReadView(t, oldR, bytesBodyCost)
 				oldCost := old.Cost
 				if oldCost <= 0 {
 					oldCost = 1
@@ -282,7 +282,7 @@ func (s *Sim) insertBodyMerge(t *upc.Thread, st *tstate, cur upc.Ref, center vec
 				continue
 			}
 			oldR := slot.Ref()
-			old := s.bodies.GetBytes(t, oldR, bytesBodyCost)
+			old := s.bodies.ReadView(t, oldR, bytesBodyCost)
 			oldCost := old.Cost
 			if oldCost <= 0 {
 				oldCost = 1
@@ -327,7 +327,7 @@ func (s *Sim) insertBodyLocalAgg(t *upc.Thread, st *tstate, root upc.Ref, bodyR 
 			cur = slot.Ref()
 		default:
 			oldR := slot.Ref()
-			old := s.bodies.GetBytes(t, oldR, bytesBodyCost)
+			old := s.bodies.ReadView(t, oldR, bytesBodyCost)
 			oldCost := old.Cost
 			if oldCost <= 0 {
 				oldCost = 1

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"upcbh/internal/nbody"
+)
+
+// The cooperative virtual-time scheduler makes multi-thread simulate
+// runs fully deterministic — a new property (the old goroutine backend's
+// clocks depended on Go scheduling). This wall pins it at the paper's
+// 112-thread scale across every scenario, under concurrent execution,
+// and beyond the paper's scale at 512 threads.
+
+// resultFingerprint serializes everything observable about a Result.
+func resultFingerprint(t *testing.T, res *Result) string {
+	t.Helper()
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func determinismOpts(n, threads int, level Level, scenario string) Options {
+	opts := DefaultOptions(n, threads, level)
+	opts.Scenario = scenario
+	opts.Steps, opts.Warmup = 3, 1
+	return opts
+}
+
+func runOnce(t *testing.T, opts Options) *Result {
+	t.Helper()
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Release()
+	return res
+}
+
+// TestSimulateDeterministicWall112 runs every scenario at THREADS=112
+// (the paper's maximum, §7) twice, at a lock/spin-heavy level and at the
+// subspace level, and demands byte-identical results — phase tables,
+// per-thread breakdowns, stats, final body state, everything.
+func TestSimulateDeterministicWall112(t *testing.T) {
+	scenarios := nbody.ScenarioNames()
+	if testing.Short() {
+		scenarios = scenarios[:2]
+	}
+	levels := []Level{LevelBaseline, LevelSubspace}
+	if testing.Short() {
+		levels = []Level{LevelSubspace}
+	}
+	for _, scen := range scenarios {
+		for _, level := range levels {
+			scen, level := scen, level
+			t.Run(fmt.Sprintf("%s/%s", scen, level), func(t *testing.T) {
+				opts := determinismOpts(768, 112, level, scen)
+				a := resultFingerprint(t, runOnce(t, opts))
+				b := resultFingerprint(t, runOnce(t, opts))
+				if a != b {
+					t.Fatalf("repeated 112-thread runs diverged:\n%.400s\nvs\n%.400s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// TestSimulateConcurrentRunsDeterministic is the seeded stress test of
+// the determinism wall: many simulate runs interleaved on concurrent
+// goroutines (as the -parallel harness pool does) must each reproduce
+// the serial reference byte-for-byte. Run it under -race: it is also the
+// proof that concurrently executing runtimes share no mutable state
+// (recycled heap chunks included).
+func TestSimulateConcurrentRunsDeterministic(t *testing.T) {
+	type cfg struct {
+		seed  uint64
+		level Level
+	}
+	cfgs := make([]cfg, 0, 8)
+	for i := 0; i < 4; i++ {
+		cfgs = append(cfgs, cfg{seed: 100 + uint64(i), level: LevelBaseline})
+		cfgs = append(cfgs, cfg{seed: 100 + uint64(i), level: LevelAsync})
+	}
+	optsFor := func(c cfg) Options {
+		opts := determinismOpts(512, 16, c.level, "clustered")
+		opts.Seed = c.seed
+		return opts
+	}
+	// Serial references.
+	want := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		want[i] = resultFingerprint(t, runOnce(t, optsFor(c)))
+	}
+	// Concurrent replay, several rounds.
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		for i, c := range cfgs {
+			wg.Add(1)
+			go func(i int, c cfg) {
+				defer wg.Done()
+				got := resultFingerprint(t, runOnce(t, optsFor(c)))
+				if got != want[i] {
+					t.Errorf("round %d cfg %d: concurrent run diverged from serial reference", round, i)
+				}
+			}(i, c)
+		}
+		wg.Wait()
+	}
+}
+
+// TestSimulate512ThreadsCompletes exercises beyond-paper scale: a
+// THREADS=512 simulate run (the paper stops at 112) must complete,
+// satisfy the physics sanity checks, and stay deterministic.
+func TestSimulate512ThreadsCompletes(t *testing.T) {
+	opts := determinismOpts(2048, 512, LevelSubspace, "plummer")
+	a := runOnce(t, opts)
+	if a.Interactions == 0 {
+		t.Fatal("512-thread run computed no interactions")
+	}
+	if a.Phases[PhaseForce] <= 0 {
+		t.Fatal("512-thread run charged no force-phase time")
+	}
+	if len(a.Bodies) != opts.Bodies {
+		t.Fatalf("body state lost: %d of %d", len(a.Bodies), opts.Bodies)
+	}
+	if !testing.Short() {
+		b := runOnce(t, opts)
+		if resultFingerprint(t, a) != resultFingerprint(t, b) {
+			t.Fatal("512-thread runs diverged")
+		}
+	}
+}

@@ -61,42 +61,42 @@ func (s *Sim) forceNaive(t *upc.Thread, st *tstate, measured bool) {
 				if nr.Ref() == br {
 					continue // skip self
 				}
-				var ob nbody.Body
+				var obPos vec.V3
+				var obMass float64
 				if st.bodyCache != nil {
-					ob = st.bodyCache.GetBytes(nr.Ref(), bytesBodyMass)
+					ob := st.bodyCache.GetBytes(nr.Ref(), bytesBodyMass)
+					obPos, obMass = ob.Pos, ob.Mass
 				} else {
-					ob = s.bodies.GetBytes(t, nr.Ref(), bytesBodyMass)
+					ob := s.bodies.ReadView(t, nr.Ref(), bytesBodyMass)
+					obPos, obMass = ob.Pos, ob.Mass
 				}
 				eps := s.readEps(t, st)
-				da, dp := nbody.Interact(pos, ob.Pos, ob.Mass, eps*eps)
-				acc = acc.Add(da)
-				phi += dp
+				nbody.InteractAccum(&acc, &phi, pos, obPos, obMass, eps*eps)
 				inter++
 				t.Charge(s.par.InteractionCost)
 				continue
 			}
-			var cell Cell
+			var cell *Cell
 			if st.cellCache != nil {
 				// Runtime cache: the whole element is the cache line, so
 				// one (possibly hit) access serves geometry, aggregates
 				// and the child pointers alike.
-				cell = st.cellCache.GetBytes(nr.Ref(), cellBytes)
+				cv := st.cellCache.GetBytes(nr.Ref(), cellBytes)
+				cell = &cv
 			} else {
-				cell = s.cells.GetBytes(t, nr.Ref(), bytesCellAccept)
+				cell = s.cells.ReadView(t, nr.Ref(), bytesCellAccept)
 			}
 			tol := s.readTol(t, st)
 			if octree.Accept(pos, cell.CofM, cell.Half, tol) {
 				eps := s.readEps(t, st)
-				da, dp := nbody.Interact(pos, cell.CofM, cell.Mass, eps*eps)
-				acc = acc.Add(da)
-				phi += dp
+				nbody.InteractAccum(&acc, &phi, pos, cell.CofM, cell.Mass, eps*eps)
 				inter++
 				t.Charge(s.par.InteractionCost)
 				continue
 			}
 			if st.cellCache == nil {
 				// Opening the cell: fetch the child pointers too.
-				cell = s.cells.GetBytes(t, nr.Ref(), cellBytes)
+				cell = s.cells.ReadView(t, nr.Ref(), cellBytes)
 			}
 			for oct := range cell.Sub {
 				if slot := cell.Sub[oct]; !slot.IsNil() {
@@ -131,24 +131,56 @@ type lnode struct {
 	requested bool // async framework: children already on a request list
 }
 
-// fetchLocalRoot copies the global root into a fresh local tree.
-func (s *Sim) fetchLocalRoot(t *upc.Thread, st *tstate) *lnode {
-	rootNR := s.readRoot(t, st)
-	c := s.cells.Get(t, rootNR.Ref())
-	return &lnode{
-		center: c.Center, half: c.Half,
-		cofm: c.CofM, mass: c.Mass,
-		sub: c.Sub,
-	}
+// lnodeArena is a per-thread slab allocator for the local tree: lnodes
+// are rebuilt every time-step, so individually heap-allocating thousands
+// of them per step dominated the harness's GC load. Blocks are fixed
+// size (pointer stability: lnodes link to each other) and reused across
+// steps; reset drops all nodes without freeing.
+type lnodeArena struct {
+	blocks [][]lnode
+	nb     int // current block
+	used   int // used entries in the current block
 }
 
-// wrapCellValue turns a fetched cell value into an lnode copy.
-func wrapCellValue(c *Cell) *lnode {
-	return &lnode{
+const lnodeBlockSize = 1024
+
+func (a *lnodeArena) reset() { a.nb, a.used = 0, 0 }
+
+func (a *lnodeArena) alloc() *lnode {
+	if a.nb == len(a.blocks) {
+		a.blocks = append(a.blocks, make([]lnode, lnodeBlockSize))
+	}
+	ln := &a.blocks[a.nb][a.used]
+	if a.used++; a.used == lnodeBlockSize {
+		a.nb, a.used = a.nb+1, 0
+	}
+	return ln
+}
+
+// newCellLnode copies a fetched cell into a fresh arena lnode.
+func (st *tstate) newCellLnode(c *Cell) *lnode {
+	ln := st.lna.alloc()
+	*ln = lnode{
 		center: c.Center, half: c.Half,
 		cofm: c.CofM, mass: c.Mass,
 		sub: c.Sub,
 	}
+	return ln
+}
+
+// newBodyLnode makes an arena lnode leaf for a fetched body.
+func (st *tstate) newBodyLnode(r upc.Ref, pos vec.V3, mass float64) *lnode {
+	ln := st.lna.alloc()
+	*ln = lnode{isBody: true, bodyRef: r, cofm: pos, mass: mass}
+	return ln
+}
+
+// fetchLocalRoot copies the global root into a fresh local tree.
+func (s *Sim) fetchLocalRoot(t *upc.Thread, st *tstate) *lnode {
+	st.lna.reset()
+	rootNR := s.readRoot(t, st)
+	c := s.cells.ReadView(t, rootNR.Ref(), cellBytes)
+	return st.newCellLnode(c)
 }
 
 // localizeChildren implements Listing 1/Listing 2: fetch every child of n
@@ -163,20 +195,21 @@ func (s *Sim) localizeChildren(t *upc.Thread, st *tstate, n *lnode) {
 		}
 		r := slot.Ref()
 		if slot.IsBody() {
-			b := s.bodies.GetBytes(t, r, bytesBodyMass)
-			n.child[oct] = &lnode{isBody: true, bodyRef: r, cofm: b.Pos, mass: b.Mass}
+			b := s.bodies.ReadView(t, r, bytesBodyMass)
+			n.child[oct] = st.newBodyLnode(r, b.Pos, b.Mass)
 			continue
 		}
 		if s.o.AliasLocalCells && s.cells.IsLocal(t, r) {
 			cp := s.cells.Raw(r)
 			s.cells.Touch(t, r, bytesSlot) // shadow-pointer setup: a local deref
-			n.child[oct] = wrapCellValue(cp)
+			n.child[oct] = st.newCellLnode(cp)
 			st.cellsAliased++
 			continue
 		}
-		c := s.cells.Get(t, r) // whole-cell transfer (remote) or local copy
+		// Whole-cell transfer (remote) or local copy; same charge as Get.
+		c := s.cells.ReadView(t, r, cellBytes)
 		t.Charge(s.par.CellInitCost + float64(cellBytes)*s.par.ByteCopyCost)
-		n.child[oct] = wrapCellValue(&c)
+		n.child[oct] = st.newCellLnode(c)
 		st.cellsCopied++
 	}
 	n.localized = true
@@ -205,17 +238,12 @@ func (s *Sim) forceCached(t *upc.Thread, st *tstate, measured bool) {
 				if n.bodyRef == br {
 					continue
 				}
-				da, dp := nbody.Interact(pos, n.cofm, n.mass, epsSq)
-				acc = acc.Add(da)
-				phi += dp
+				nbody.InteractAccum(&acc, &phi, pos, n.cofm, n.mass, epsSq)
 				inter++
 				t.Charge(s.par.InteractionCost)
 				continue
 			}
-			if octree.Accept(pos, n.cofm, n.half, tol) {
-				da, dp := nbody.Interact(pos, n.cofm, n.mass, epsSq)
-				acc = acc.Add(da)
-				phi += dp
+			if nbody.AcceptInteract(&acc, &phi, pos, n.cofm, n.mass, n.half, tol, epsSq) {
 				inter++
 				t.Charge(s.par.InteractionCost)
 				continue

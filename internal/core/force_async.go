@@ -2,7 +2,6 @@ package core
 
 import (
 	"upcbh/internal/nbody"
-	"upcbh/internal/octree"
 	"upcbh/internal/upc"
 	"upcbh/internal/vec"
 )
@@ -46,6 +45,53 @@ type request struct {
 
 func (r *request) empty() bool { return len(r.items) == 0 }
 
+// getWbody/putWbody and getRequest/putRequest recycle the async-force
+// working structures across bodies and steps; their slices keep their
+// capacity, so the steady-state force phase stops allocating.
+func (st *tstate) getWbody(br upc.Ref, pos vec.V3) *wbody {
+	if n := len(st.wbFree); n > 0 {
+		wb := st.wbFree[n-1]
+		st.wbFree = st.wbFree[:n-1]
+		*wb = wbody{br: br, pos: pos, active: wb.active[:0], blocked: wb.blocked[:0]}
+		return wb
+	}
+	return &wbody{br: br, pos: pos}
+}
+
+func (st *tstate) putWbody(wb *wbody) { st.wbFree = append(st.wbFree, wb) }
+
+func (st *tstate) getRequest() *request {
+	if n := len(st.reqFree); n > 0 {
+		r := st.reqFree[n-1]
+		st.reqFree = st.reqFree[:n-1]
+		return r
+	}
+	return &request{}
+}
+
+func (st *tstate) putRequest(r *request) {
+	*r = request{
+		parents:  r.parents[:0],
+		items:    r.items[:0],
+		cellRefs: r.cellRefs[:0],
+		cellDst:  r.cellDst[:0],
+		bodyRefs: r.bodyRefs[:0],
+		bodyDst:  r.bodyDst[:0],
+	}
+	st.reqFree = append(st.reqFree, r)
+}
+
+// sized returns a destination slice of exactly n elements, reusing
+// capacity. Stale trailing bytes beyond each staged prefix are never
+// read: cell gathers copy whole elements, body gathers only expose the
+// staged position/mass prefix.
+func sized[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // forceAsync implements Listing 3: maintain n1 working bodies, aggregate
 // needed remote children into requests of at least n3 cells, keep at most
 // n2 outstanding non-blocking gathers, and overlap communication with the
@@ -60,7 +106,7 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 	queue := st.myBodies
 	next := 0
 	working := make([]*wbody, 0, n1)
-	var pending request
+	pending := st.getRequest()
 	var outstanding []*request
 
 	enqueueChildren := func(n *lnode) {
@@ -85,18 +131,18 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 			return
 		}
 		r := pending
-		pending = request{}
+		pending = st.getRequest()
 		if len(r.cellRefs) > 0 {
-			r.cellDst = make([]Cell, len(r.cellRefs))
+			r.cellDst = sized(r.cellDst, len(r.cellRefs))
 			r.hc = s.cells.GatherAsync(t, r.cellRefs, r.cellDst)
 		}
 		if len(r.bodyRefs) > 0 {
-			r.bodyDst = make([]nbody.Body, len(r.bodyRefs))
+			r.bodyDst = sized(r.bodyDst, len(r.bodyRefs))
 			// Only the position/mass prefix travels: the owners are
 			// concurrently writing force results into the same bodies.
 			r.hb = s.bodies.GatherAsyncBytes(t, r.bodyRefs, r.bodyDst, bytesBodyMass)
 		}
-		outstanding = append(outstanding, &r)
+		outstanding = append(outstanding, r)
 	}
 
 	complete := func(r *request) {
@@ -109,20 +155,18 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 		for _, it := range r.items {
 			if it.isBody {
 				b := &r.bodyDst[it.idx]
-				it.parent.child[it.oct] = &lnode{
-					isBody: true, bodyRef: r.bodyRefs[it.idx],
-					cofm: b.Pos, mass: b.Mass,
-				}
+				it.parent.child[it.oct] = st.newBodyLnode(r.bodyRefs[it.idx], b.Pos, b.Mass)
 				continue
 			}
 			c := &r.cellDst[it.idx]
 			t.Charge(s.par.CellInitCost + float64(cellBytes)*s.par.ByteCopyCost)
-			it.parent.child[it.oct] = wrapCellValue(c)
+			it.parent.child[it.oct] = st.newCellLnode(c)
 			st.cellsCopied++
 		}
 		for _, p := range r.parents {
 			p.localized = true
 		}
+		st.putRequest(r)
 	}
 
 	unblock := func() {
@@ -147,17 +191,12 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 				if n.bodyRef == wb.br {
 					continue
 				}
-				da, dp := nbody.Interact(wb.pos, n.cofm, n.mass, epsSq)
-				wb.acc = wb.acc.Add(da)
-				wb.phi += dp
+				nbody.InteractAccum(&wb.acc, &wb.phi, wb.pos, n.cofm, n.mass, epsSq)
 				wb.inter++
 				t.Charge(s.par.InteractionCost)
 				continue
 			}
-			if octree.Accept(wb.pos, n.cofm, n.half, tol) {
-				da, dp := nbody.Interact(wb.pos, n.cofm, n.mass, epsSq)
-				wb.acc = wb.acc.Add(da)
-				wb.phi += dp
+			if nbody.AcceptInteract(&wb.acc, &wb.phi, wb.pos, n.cofm, n.mass, n.half, tol, epsSq) {
 				wb.inter++
 				t.Charge(s.par.InteractionCost)
 				continue
@@ -182,7 +221,7 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 		for len(working) < n1 && next < len(queue) {
 			br := queue[next]
 			next++
-			wb := &wbody{br: br, pos: s.bodyPos(t, st, br)}
+			wb := st.getWbody(br, s.bodyPos(t, st, br))
 			wb.active = append(wb.active, st.lroot)
 			working = append(working, wb)
 		}
@@ -211,6 +250,7 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 				if measured {
 					st.inter += uint64(wb.inter)
 				}
+				st.putWbody(wb)
 			} else {
 				keep = append(keep, wb)
 			}
@@ -243,4 +283,5 @@ func (s *Sim) forceAsync(t *upc.Thread, st *tstate, measured bool) {
 			}
 		}
 	}
+	st.putRequest(pending)
 }

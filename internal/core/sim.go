@@ -93,6 +93,14 @@ type tstate struct {
 	remoteRefs []upc.Ref
 	bbLo, bbHi [3]float64
 
+	// Local-tree arena and async-force object pools (force.go,
+	// force_async.go), retained across steps: the §5.3+ local tree is
+	// rebuilt every step, and per-lnode/per-request heap allocation
+	// dominated the harness's GC load.
+	lna     lnodeArena
+	wbFree  []*wbody
+	reqFree []*request
+
 	// Counters (accumulated over measured steps).
 	inter        uint64
 	migrated     int
@@ -136,6 +144,13 @@ func New(opts Options) (*Sim, error) {
 		init:   init,
 		ts:     make([]*tstate, p),
 	}
+	// Both heaps fully initialize every element before first read (cells
+	// are whole-struct assigned at creation, bodies copied/gathered in),
+	// so they can recycle chunk storage across simulations — the harness
+	// builds one Sim per configuration, and per-Sim chunk zeroing was a
+	// top allocation cost. See Release.
+	s.bodies.SetRecycle()
+	s.cells.SetRecycle()
 	s.geomS = upc.NewScalar(rt, rootGeom{})
 	s.tolS = upc.NewScalar(rt, opts.Theta)
 	s.epsS = upc.NewScalar(rt, opts.Eps)
@@ -174,6 +189,14 @@ func (s *Sim) Options() Options { return s.o }
 func (s *Sim) Run() (*Result, error) {
 	s.rt.Run(s.threadMain)
 	return s.collect()
+}
+
+// Release returns the simulation's heap storage to the process-wide
+// recycling pools. Call it after the last use of the Sim; collected
+// Results are unaffected (they copy all body state out).
+func (s *Sim) Release() {
+	s.bodies.Release()
+	s.cells.Release()
 }
 
 // beginPhase/endPhase bracket one phase: wall/simulated time and the
@@ -414,7 +437,7 @@ func (s *Sim) bodyPos(t *upc.Thread, st *tstate, r upc.Ref) vec.V3 {
 	if s.o.Level >= LevelRedistribute && s.bodies.IsLocal(t, r) {
 		return s.bodies.Local(t, r).Pos
 	}
-	return s.bodies.GetBytes(t, r, bytesBodyPos).Pos
+	return s.bodies.ReadView(t, r, bytesBodyPos).Pos
 }
 
 // newCell allocates and initializes a cell in the caller's shard.
@@ -501,6 +524,7 @@ func (s *Sim) collect() (*Result, error) {
 		res.MigratedFraction = float64(migrated) / float64(owned)
 	}
 	res.Stats = s.rt.TotalStats()
+	res.Sched = s.rt.SchedStats()
 
 	// Final body state in ID order.
 	res.Bodies = make([]nbody.Body, 0, s.o.Bodies)

@@ -29,9 +29,23 @@ type subspaceState struct {
 	nodes    []subsp
 	bodiesOf [][]int32 // this thread's bodies per subspace (indices into myBodies)
 	leaves   []int32   // leaf subspaces in DFS order
+
+	// Per-step scratch retained across steps so steady-state subspace
+	// stepping allocates (almost) nothing: the root body-index list, the
+	// per-level cost vector, the all-to-all send matrix, and the
+	// leaf-binning slots (first-appearance ordered; see the binning loop
+	// for why the order matters).
+	allBuf    []int32
+	costBuf   []float64
+	send      [][]nbody.Body
+	leafSlot  map[int32]int32
+	leafOrder []int32
+	leafRows  [][]upc.Ref
 }
 
-func newSubspaceState() *subspaceState { return &subspaceState{} }
+func newSubspaceState() *subspaceState {
+	return &subspaceState{leafSlot: make(map[int32]int32)}
+}
 
 func (ss *subspaceState) reset() {
 	ss.nodes = ss.nodes[:0]
@@ -68,7 +82,10 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 	g := s.boundingBox(t, st)
 	ss.reset()
 	rootIdx := ss.addNode(subsp{center: g.Center, half: g.Half, parent: -1, firstChild: -1})
-	all := make([]int32, len(st.myBodies))
+	if cap(ss.allBuf) < len(st.myBodies) {
+		ss.allBuf = make([]int32, len(st.myBodies))
+	}
+	all := ss.allBuf[:len(st.myBodies)]
 	var rootCost float64
 	for i, br := range st.myBodies {
 		all[i] = int32(i)
@@ -111,7 +128,11 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 		// Reduce the new level's costs: one vector collective (§6), or
 		// one scalar collective per subspace when VectorReduce is off
 		// (the figure 10 pathology).
-		local := make([]float64, len(ss.nodes)-int(newStart))
+		nNew := len(ss.nodes) - int(newStart)
+		if cap(ss.costBuf) < nNew {
+			ss.costBuf = make([]float64, nNew)
+		}
+		local := ss.costBuf[:nNew]
 		for i := range local {
 			var c float64
 			for _, bi := range ss.bodiesOf[newStart+int32(i)] {
@@ -162,8 +183,16 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 		prefix += ss.nodes[li].cost
 		t.Charge(s.par.LocalDerefCost)
 	}
-	// Classify my bodies by destination owner.
-	send := make([][]nbody.Body, p)
+	// Classify my bodies by destination owner. The send matrix is reused
+	// across steps (AllToAll receivers alias these rows, but they copy
+	// the bodies out before the next step's classification).
+	if cap(ss.send) < p {
+		ss.send = make([][]nbody.Body, p)
+	}
+	send := ss.send[:p]
+	for i := range send {
+		send[i] = send[i][:0]
+	}
 	for _, li := range ss.leaves {
 		own := ss.nodes[li].owner
 		for _, bi := range ss.bodiesOf[li] {
@@ -248,8 +277,13 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 	base = upc.Broadcast(t, 0, base)
 	st.root = CellRef(base) // the root subspace is internal idx 0
 
-	// Bin my (now local) bodies into my owned leaves.
-	leafBodies := make(map[int32][]upc.Ref)
+	// Bin my (now local) bodies into my owned leaves. Leaves are visited
+	// in first-appearance order below (not Go map order): cell allocation
+	// order and the per-leaf charge sequence feed the virtual clock, so
+	// the iteration order must be deterministic for byte-identical phase
+	// tables. Slots and rows are retained across steps.
+	clear(ss.leafSlot)
+	ss.leafOrder = ss.leafOrder[:0]
 	for _, br := range st.myBodies {
 		pos := s.bodies.Local(t, br).Pos
 		idx := rootIdx
@@ -261,11 +295,22 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 		if ss.nodes[idx].owner != me {
 			panic(fmt.Sprintf("core: body routed to leaf owned by thread %d, held by %d", ss.nodes[idx].owner, me))
 		}
-		leafBodies[idx] = append(leafBodies[idx], br)
+		slot, seen := ss.leafSlot[idx]
+		if !seen {
+			slot = int32(len(ss.leafOrder))
+			ss.leafSlot[idx] = slot
+			ss.leafOrder = append(ss.leafOrder, idx)
+			if int(slot) == len(ss.leafRows) {
+				ss.leafRows = append(ss.leafRows, nil)
+			}
+			ss.leafRows[slot] = ss.leafRows[slot][:0]
+		}
+		ss.leafRows[slot] = append(ss.leafRows[slot], br)
 	}
 	// Build one local subtree per owned leaf and hook it (no locks: leaf
 	// slots are disjoint).
-	for li, brs := range leafBodies {
+	for slot, li := range ss.leafOrder {
+		brs := ss.leafRows[slot]
 		leaf := &ss.nodes[li]
 		var hook NodeRef
 		if len(brs) == 1 {
@@ -304,7 +349,7 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 				case slot.IsNil():
 					continue
 				case slot.IsBody():
-					b := s.bodies.GetBytes(t, slot.Ref(), bytesBodyCost)
+					b := s.bodies.ReadView(t, slot.Ref(), bytesBodyCost)
 					wsum = wsum.AddScaled(b.Pos, b.Mass)
 					mass += b.Mass
 					bc := b.Cost
@@ -314,7 +359,7 @@ func (s *Sim) stepSubspace(t *upc.Thread, st *tstate, ph *PhaseTimes, measured b
 					cost += bc
 					cnt++
 				default:
-					agg := s.cells.GetBytes(t, slot.Ref(), bytesAgg)
+					agg := s.cells.ReadView(t, slot.Ref(), bytesAgg)
 					wsum = wsum.AddScaled(agg.CofM, agg.Mass)
 					mass += agg.Mass
 					cost += agg.Cost

@@ -320,6 +320,10 @@ type Result struct {
 	PerThread []ThreadBreakdown `json:"per_thread,omitempty"`
 
 	Stats upc.Stats `json:"stats"`
+	// Sched counts cooperative-scheduler events (baton handoffs between
+	// emulated threads, spin-wait yields) over the whole run — the real
+	// synchronization cost the simulate backend paid. Zero in ModeNative.
+	Sched upc.SchedStats `json:"sched"`
 	// PhaseComm breaks the operation counters down by phase (aggregated
 	// over threads, measured steps only) — the communication profile the
 	// paper's per-phase analysis reasons about.

@@ -205,9 +205,16 @@ func (m *Machine) NumNodes() int {
 
 // Path classifies the communication path from thread a to thread b.
 func (m *Machine) Path(a, b int) PathKind {
-	switch {
-	case a == b:
+	if a == b {
 		return PathSelf
+	}
+	// One thread per node — the common configuration — needs no node
+	// arithmetic: every distinct pair crosses the network. Message runs
+	// per modelled remote access, so the two integer divisions matter.
+	if m.ThreadsPerNode == 1 {
+		return PathNetwork
+	}
+	switch {
 	case m.Node(a) != m.Node(b):
 		return PathNetwork
 	case m.Pthreads:
@@ -235,6 +242,27 @@ type MsgCost struct {
 	TargetBusy float64 // NIC occupancy at the target (serializes hot-spots)
 }
 
+// NetOnly reports whether every distinct thread pair communicates over
+// the network path (one thread per node) — the configuration of most
+// paper experiments. Hot per-message paths use it to take NetMessage,
+// which is small enough to inline.
+func (m *Machine) NetOnly() bool { return m.ThreadsPerNode == 1 }
+
+// NetMessage is Message for a known network path — Message's PathNetwork
+// arm delegates here, so the hot fast path in the simulate runtime and
+// the general classifier cannot diverge.
+func (m *Machine) NetMessage(bytes int) MsgCost {
+	if bytes < 0 {
+		bytes = 0
+	}
+	fb := float64(bytes)
+	return MsgCost{
+		SenderBusy: m.Par.SendOverhead,
+		Transit:    m.Par.Latency + fb*m.Par.GapPerByte,
+		TargetBusy: m.Par.GapPerMsg + fb*m.Par.GapPerByte,
+	}
+}
+
 // Message returns the cost of sending `bytes` from thread a to thread b.
 func (m *Machine) Message(a, b, bytes int) MsgCost {
 	if bytes < 0 {
@@ -258,11 +286,7 @@ func (m *Machine) Message(a, b, bytes int) MsgCost {
 			TargetBusy: m.Par.LoopbackOverhead + fb*m.Par.LoopbackPerByte,
 		}
 	default: // PathNetwork
-		return MsgCost{
-			SenderBusy: m.Par.SendOverhead,
-			Transit:    m.Par.Latency + fb*m.Par.GapPerByte,
-			TargetBusy: m.Par.GapPerMsg + fb*m.Par.GapPerByte,
-		}
+		return m.NetMessage(bytes)
 	}
 }
 

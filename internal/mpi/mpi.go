@@ -44,29 +44,30 @@ func NewComm(rt *upc.Runtime) *Comm {
 }
 
 // Send delivers data (treated as `bytes` on the wire) to rank `to`.
-// It never blocks the sender (eager/buffered semantics).
+// It does not block while buffer space is available (eager/buffered
+// semantics); with a full mailbox it waits — via BlockOn, so that under
+// the cooperative scheduler the receiver can be scheduled to drain (a
+// raw channel send would wedge the baton with no deadlock diagnosis).
 func (c *Comm) Send(t *upc.Thread, to int, data any, bytes int) {
 	if to < 0 || to >= c.rt.Threads() {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", to))
 	}
 	arrive := t.SendEvent(to, bytes)
-	c.mail[to][t.ID()] <- envelope{data: data, bytes: bytes, arriveAt: arrive}
+	mb := c.mail[to][t.ID()]
+	t.BlockOn(func() bool { return len(mb) < cap(mb) })
+	mb <- envelope{data: data, bytes: bytes, arriveAt: arrive}
 }
 
 // Recv blocks until a message from rank `from` arrives, aligns the
 // receiver's simulated clock to the arrival, and returns the payload.
-// It aborts if a peer thread fails.
+// It aborts if a peer thread fails. Under the cooperative simulate
+// scheduler the wait is a BlockOn — the receiver becomes ineligible
+// until the sender has deposited, instead of blocking the baton-holding
+// goroutine on the channel.
 func (c *Comm) Recv(t *upc.Thread, from int) (any, int) {
-	var env envelope
-	select {
-	case env = <-c.mail[t.ID()][from]:
-	default:
-		select {
-		case env = <-c.mail[t.ID()][from]:
-		case <-c.rt.Aborted():
-			panic("mpi: receive aborted: a peer rank failed")
-		}
-	}
+	mb := c.mail[t.ID()][from]
+	t.BlockOn(func() bool { return len(mb) > 0 })
+	env := <-mb
 	t.AdvanceTo(env.arriveAt)
 	t.ChargeRaw(c.rt.Machine().Par.SendOverhead) // receive-side overhead
 	return env.data, env.bytes

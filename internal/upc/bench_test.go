@@ -1,6 +1,7 @@
 package upc
 
 import (
+	"fmt"
 	"testing"
 
 	"upcbh/internal/machine"
@@ -77,6 +78,64 @@ func BenchmarkAllReduceVec8(b *testing.B) {
 			_ = AllReduceVecF64(t, v, OpSum)
 		}
 	})
+}
+
+// BenchmarkRuntimeOps measures the real (wall-clock) cost of the core
+// runtime operations under the cooperative scheduler at a small and at
+// the paper's maximum thread count — the per-operation overhead every
+// simulate-mode experiment pays. Run in CI to track the scheduler's
+// perf trajectory.
+func BenchmarkRuntimeOps(b *testing.B) {
+	for _, p := range []int{8, 112} {
+		b.Run(fmt.Sprintf("barrier/p=%d", p), func(b *testing.B) {
+			rt := NewRuntime(machine.Default(p))
+			b.ResetTimer()
+			rt.Run(func(t *Thread) {
+				for i := 0; i < b.N; i++ {
+					t.Barrier()
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("memget/p=%d", p), func(b *testing.B) {
+			rt := NewRuntime(machine.Default(p))
+			h := NewHeap[[8]float64](rt, 4096)
+			rt.Run(func(t *Thread) {
+				h.Alloc(t, 1)
+				t.Barrier()
+				if t.ID() != 0 {
+					return
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = h.Get(t, Ref{Thr: int32(1 + i%(p-1)), Idx: 0})
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("broadcast/p=%d", p), func(b *testing.B) {
+			rt := NewRuntime(machine.Default(p))
+			b.ResetTimer()
+			rt.Run(func(t *Thread) {
+				for i := 0; i < b.N; i++ {
+					_ = Broadcast(t, 0, i)
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("lock/p=%d", p), func(b *testing.B) {
+			rt := NewRuntime(machine.Default(p))
+			lk := rt.NewLock(p - 1)
+			rt.Run(func(t *Thread) {
+				t.Barrier()
+				if t.ID() != 0 {
+					return
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lk.Acquire(t)
+					lk.Release(t)
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkCacheHit(b *testing.B) {

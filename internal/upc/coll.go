@@ -2,9 +2,19 @@ package upc
 
 import "sync"
 
-// collSite is the rendezvous used by all collectives. SPMD discipline
-// guarantees all threads call the same collective in the same order, so a
-// single generation-counted site per runtime suffices.
+// exchange routes a collective rendezvous to the execution backend: the
+// cooperative scheduler's epoch in ModeSimulate, the mutex/cond collSite
+// under real ModeNative parallelism. Semantics are identical.
+func (rt *Runtime) exchange(t *Thread, v any, cost float64, combine func(slots []any) any) (any, float64) {
+	if rt.coop != nil {
+		return rt.coop.exchange(t, v, cost, combine)
+	}
+	return rt.coll.exchange(t, v, cost, combine)
+}
+
+// collSite is the rendezvous used by all collectives in ModeNative. SPMD
+// discipline guarantees all threads call the same collective in the same
+// order, so a single generation-counted site per runtime suffices.
 type collSite struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -94,7 +104,7 @@ func AllReduceF64(t *Thread, v float64, op Op) float64 {
 		t.ChargeRaw(cost)
 		return v
 	}
-	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+	res, clock := t.rt.exchange(t, v, cost, func(slots []any) any {
 		acc := slots[0].(float64)
 		for _, s := range slots[1:] {
 			acc = op.apply(acc, s.(float64))
@@ -118,7 +128,7 @@ func AllReduceVecF64(t *Thread, v []float64, op Op) []float64 {
 		t.ChargeRaw(cost)
 		return v
 	}
-	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+	res, clock := t.rt.exchange(t, v, cost, func(slots []any) any {
 		first := slots[0].([]float64)
 		acc := make([]float64, len(first))
 		copy(acc, first)
@@ -145,7 +155,7 @@ func Broadcast[T any](t *Thread, root int, v T) T {
 		t.ChargeRaw(cost)
 		return v
 	}
-	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+	res, clock := t.rt.exchange(t, v, cost, func(slots []any) any {
 		return slots[root]
 	})
 	t.AdvanceTo(clock)
@@ -161,7 +171,7 @@ func AllGather[T any](t *Thread, v T) []T {
 		t.ChargeRaw(cost)
 		return []T{v}
 	}
-	res, clock := t.rt.coll.exchange(t, v, cost, func(slots []any) any {
+	res, clock := t.rt.exchange(t, v, cost, func(slots []any) any {
 		out := make([]T, len(slots))
 		for i, s := range slots {
 			out[i] = s.(T)
@@ -191,7 +201,7 @@ func AllToAll[T any](t *Thread, send [][]T) [][]T {
 		t.ChargeRaw(2 * t.rt.mach.Par.Latency)
 		return [][]T{send[0]}
 	}
-	res, clock := t.rt.coll.exchange(t, send, 0, func(slots []any) any {
+	res, clock := t.rt.exchange(t, send, 0, func(slots []any) any {
 		out := make([][][]T, len(slots))
 		for i, s := range slots {
 			out[i] = s.([][]T)

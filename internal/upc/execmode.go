@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"upcbh/internal/machine"
 )
 
 // ExecMode selects the execution backend of a Runtime: how operations are
@@ -121,16 +123,25 @@ func (simCost) mode() ExecMode        { return ModeSimulate }
 func (simCost) now(t *Thread) float64 { return t.clock }
 
 func (simCost) barrier(t *Thread) {
-	t.clock = t.rt.bar.wait(t.rt, t.clock, t.rt.mach.BarrierCost())
+	t.rt.coop.barrier(t)
 }
 
 func (simCost) collectiveCost(t *Thread, bytes int) float64 {
 	return t.rt.mach.CollectiveCost(bytes)
 }
 
+// message dispatches the per-message cost: the inlinable network-only
+// fast path (one thread per node, a != b — the hot configuration) or
+// the general path classifier. Identical results by construction.
+func message(m *machine.Machine, a, b, bytes int) machine.MsgCost {
+	if a != b && m.NetOnly() {
+		return m.NetMessage(bytes)
+	}
+	return m.Message(a, b, bytes)
+}
+
 func (simCost) remoteRoundTrip(t *Thread, target, bytes int) {
-	m := t.rt.mach
-	mc := m.Message(t.id, target, bytes)
+	mc := message(t.rt.mach, t.id, target, bytes)
 	// Request reaches the target, queues at its NIC, then the reply
 	// transits back.
 	arrive := t.clock + mc.SenderBusy + mc.Transit
@@ -139,7 +150,7 @@ func (simCost) remoteRoundTrip(t *Thread, target, bytes int) {
 }
 
 func (simCost) sendEvent(t *Thread, to, bytes int) float64 {
-	c := t.rt.mach.Message(t.id, to, bytes)
+	c := message(t.rt.mach, t.id, to, bytes)
 	t.clock += c.SenderBusy
 	arrive := t.clock + c.Transit
 	start := t.rt.nicReserve(to, arrive, c.TargetBusy)
@@ -152,7 +163,7 @@ func (simCost) gatherGroup(t *Thread, target, bytes int) float64 {
 		t.clock += float64(bytes) * m.Par.ByteCopyCost
 		return t.clock
 	}
-	c := m.Message(t.id, target, bytes)
+	c := message(m, t.id, target, bytes)
 	t.clock += c.SenderBusy
 	arrive := t.clock + c.Transit
 	start := t.rt.nicReserve(target, arrive, c.TargetBusy)
@@ -187,7 +198,7 @@ func (simCost) reset(rt *Runtime) {
 		t.clock = 0
 	}
 	for i := range rt.nic {
-		rt.nic[i].availAt.Store(0)
+		rt.nic[i].availAt = 0
 	}
 }
 

@@ -2,9 +2,33 @@ package upc
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 )
+
+// heapPools recycles shard storage across runtimes: the experiment
+// harness builds one Runtime per configuration, and allocating (and,
+// above all, zeroing) megabytes of chunk backing and chunk-table memory
+// per simulation dominated the harness's allocation profile. Pools are
+// keyed by element type and chunk geometry; see Heap.SetRecycle for the
+// (non-zeroed!) reuse contract.
+var heapPools sync.Map // heapPoolKey -> *sync.Pool
+
+type heapPoolKey struct {
+	typ   reflect.Type
+	table bool // chunk tables vs chunk backings
+	els   int  // elements per chunk (backings only)
+}
+
+func heapPool(key heapPoolKey) *sync.Pool {
+	if p, ok := heapPools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := heapPools.LoadOrStore(key, &sync.Pool{})
+	return p.(*sync.Pool)
+}
 
 // Ref is a global reference into a Heap: the UPC "pointer-to-shared". The
 // zero value is NOT nil; use NilRef / IsNil.
@@ -39,6 +63,7 @@ type Heap[T any] struct {
 	elemSize  int
 	chunkSize int32
 	shift     uint
+	recycle   bool
 	shards    []heapShard[T]
 }
 
@@ -65,10 +90,52 @@ func NewHeap[T any](rt *Runtime, chunkSize int) *Heap[T] {
 		shift:     shift,
 		shards:    make([]heapShard[T], rt.Threads()),
 	}
+	tp := heapPool(heapPoolKey{typ: reflect.TypeFor[T](), table: true})
 	for i := range h.shards {
-		h.shards[i].table = make([]atomic.Pointer[[]T], maxChunks)
+		// Chunk tables are recycled unconditionally: Release nils the
+		// entries it harvests, so a pooled table is indistinguishable
+		// from a fresh one.
+		if v := tp.Get(); v != nil {
+			h.shards[i].table = *v.(*[]atomic.Pointer[[]T])
+		} else {
+			h.shards[i].table = make([]atomic.Pointer[[]T], maxChunks)
+		}
 	}
 	return h
+}
+
+// SetRecycle opts the heap into cross-runtime chunk recycling: Release
+// returns the shard storage to a process-wide pool, and Alloc may hand
+// out pooled chunks WITHOUT zeroing them. Only enable this when every
+// element is fully initialized before its first read (the Barnes-Hut
+// heaps are: cells are whole-struct assigned at creation, bodies copied
+// in), because Alloc's usual zeroed-memory guarantee no longer holds.
+func (h *Heap[T]) SetRecycle() { h.recycle = true }
+
+// Release returns the heap's storage to the process-wide recycling
+// pools (chunk backings only if SetRecycle was called). The heap must
+// not be used afterwards; data previously copied out (e.g. a collected
+// Result) is unaffected.
+func (h *Heap[T]) Release() {
+	typ := reflect.TypeFor[T]()
+	cp := heapPool(heapPoolKey{typ: typ, els: int(h.chunkSize)})
+	tp := heapPool(heapPoolKey{typ: typ, table: true})
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := 0; j < maxChunks; j++ {
+			c := sh.table[j].Load()
+			if c == nil {
+				break
+			}
+			sh.table[j].Store(nil)
+			if h.recycle {
+				cp.Put(c)
+			}
+		}
+		tbl := sh.table
+		sh.table = nil
+		tp.Put(&tbl)
+	}
 }
 
 // ElemSize returns the modelled size in bytes of one element.
@@ -102,17 +169,31 @@ func (h *Heap[T]) Alloc(t *Thread, count int) Ref {
 		panic("upc: heap shard exhausted")
 	}
 	if sh.table[last].Load() == nil {
-		// Allocate all missing chunks in one backing array so large
-		// allocations are physically contiguous too.
 		firstMissing := first
 		for firstMissing <= last && sh.table[firstMissing].Load() != nil {
 			firstMissing++
 		}
 		nchunks := last - firstMissing + 1
-		backing := make([]T, nchunks*int(h.chunkSize))
-		for k := 0; k < nchunks; k++ {
-			c := backing[k*int(h.chunkSize) : (k+1)*int(h.chunkSize)]
-			sh.table[firstMissing+k].Store(&c)
+		cs := int(h.chunkSize)
+		if h.recycle && nchunks == 1 {
+			// Recycled chunk if one is pooled (NOT re-zeroed — see
+			// SetRecycle), else a fresh zeroed one.
+			p := heapPool(heapPoolKey{typ: reflect.TypeFor[T](), els: cs})
+			if v := p.Get(); v != nil {
+				sh.table[last].Store(v.(*[]T))
+			} else {
+				c := make([]T, cs)
+				sh.table[last].Store(&c)
+			}
+		} else {
+			// Allocate all missing chunks in one backing array so large
+			// allocations are physically contiguous too. Caps are bounded
+			// per chunk so Release can pool each independently.
+			backing := make([]T, nchunks*cs)
+			for k := 0; k < nchunks; k++ {
+				c := backing[k*cs : (k+1)*cs : (k+1)*cs]
+				sh.table[firstMissing+k].Store(&c)
+			}
 		}
 	}
 	sh.n = start + int32(count)
@@ -178,6 +259,21 @@ func copyPrefix[T any](dst, src *T, n, size int) {
 	db := unsafe.Slice((*byte)(unsafe.Pointer(dst)), size)
 	sb := unsafe.Slice((*byte)(unsafe.Pointer(src)), size)
 	copy(db[:n], sb[:n])
+}
+
+// ReadView dereferences a pointer-to-shared without materializing a
+// copy: it charges exactly what GetBytes(t, r, bytes) would charge (the
+// modelled wire cost is a property of the access, not of how the
+// emulator stages the data) and returns a read-only pointer into the
+// element's live storage. The caller must consume the fields it needs —
+// which must lie within the charged byte prefix — without writing, and
+// must not hold the view across an operation that may mutate the
+// element. It exists for the force/c-of-m hot paths, where GetBytes'
+// whole-struct staging copies dominated the real (wall-clock) cost of a
+// simulate run; the charge sequence is pinned by the simulate goldens.
+func (h *Heap[T]) ReadView(t *Thread, r Ref, bytes int) *T {
+	h.chargeGet(t, r, bytes)
+	return h.ptr(r.Thr, r.Idx)
 }
 
 func (h *Heap[T]) chargeGet(t *Thread, r Ref, bytes int) {
@@ -296,23 +392,32 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 	if bytesPer <= 0 || bytesPer > h.elemSize {
 		bytesPer = h.elemSize
 	}
-	// Group by source thread. Request lists are short (tens of cells), so
-	// a linear scan with a small map is fine.
-	type srcGroup struct{ count int }
-	groups := make(map[int32]*srcGroup, 4)
+	// Group by source thread, in deterministic first-appearance order
+	// (the sender-side charges accumulate per group, so iteration order
+	// feeds the virtual clock — a map here would leak Go's randomized
+	// iteration into the simulated times). Request lists are short (tens
+	// of cells from a handful of sources), so a linear scan over a small
+	// reused scratch slice beats a map anyway.
+	groups := t.gatherGroups[:0]
 	for i, r := range refs {
 		if r.IsNil() {
 			panic("upc: GatherAsync of nil reference")
 		}
 		// Stage the data now; it is exposed at sync time.
 		copyPrefix(&dst[i], h.ptr(r.Thr, r.Idx), bytesPer, h.elemSize)
-		g := groups[r.Thr]
-		if g == nil {
-			g = &srcGroup{}
-			groups[r.Thr] = g
+		found := false
+		for gi := range groups {
+			if groups[gi].thr == r.Thr {
+				groups[gi].count++
+				found = true
+				break
+			}
 		}
-		g.count++
+		if !found {
+			groups = append(groups, gatherGroup{thr: r.Thr, count: 1})
+		}
 	}
+	t.gatherGroups = groups
 	// CompleteAt only matters under simulation (native handles are done
 	// at issue); skip the clock reads in the async-force hot path.
 	complete := 0.0
@@ -320,9 +425,9 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 		complete = t.rt.cost.now(t)
 	}
 	nsrc := 0
-	for thr, g := range groups {
-		bytes := g.count * bytesPer
-		if int(thr) != t.id {
+	for _, g := range groups {
+		bytes := int(g.count) * bytesPer
+		if int(g.thr) != t.id {
 			nsrc++
 			t.stats.Msgs++
 			t.stats.Bytes += uint64(bytes)
@@ -330,7 +435,7 @@ func (h *Heap[T]) GatherAsyncBytes(t *Thread, refs []Ref, dst []T, bytesPer int)
 		if t.rt.native {
 			continue
 		}
-		if done := t.rt.cost.gatherGroup(t, int(thr), bytes); done > complete {
+		if done := t.rt.cost.gatherGroup(t, int(g.thr), bytes); done > complete {
 			complete = done
 		}
 	}

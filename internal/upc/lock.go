@@ -9,8 +9,14 @@ package upc
 type Lock struct {
 	rt      *Runtime
 	home    int
-	ch      chan struct{} // holds one token when the lock is free
+	ch      chan struct{} // ModeNative: holds one token when the lock is free
 	availAt float64       // simulated time the lock frees up; guarded by holding the lock
+
+	// Cooperative-scheduler state (ModeSimulate): only the baton holder
+	// touches these, so they need no synchronization. Ownership transfers
+	// directly to the first waiter on release.
+	held    bool
+	waiters []int32
 }
 
 // NewLock allocates a lock homed on thread `home` (upc_global_lock_alloc
@@ -29,13 +35,17 @@ func (rt *Runtime) NewLock(home int) *Lock {
 func (l *Lock) Acquire(t *Thread) {
 	t.stats.LockAcqs++
 	t.stats.Msgs++
-	select {
-	case <-l.ch:
-	default:
+	if s := t.rt.coop; s != nil {
+		s.lockAcquire(t, l)
+	} else {
 		select {
 		case <-l.ch:
-		case <-t.rt.poisonCh:
-			panic(poisonAbort{poisonSecondary})
+		default:
+			select {
+			case <-l.ch:
+			case <-t.rt.poisonCh:
+				panic(poisonAbort{poisonSecondary})
+			}
 		}
 	}
 	t.rt.cost.lockAcquired(t, l)
@@ -44,6 +54,10 @@ func (l *Lock) Acquire(t *Thread) {
 // Release drops the lock (upc_unlock).
 func (l *Lock) Release(t *Thread) {
 	t.rt.cost.lockReleasing(t, l)
+	if s := t.rt.coop; s != nil {
+		s.lockRelease(t, l)
+		return
+	}
 	l.ch <- struct{}{}
 }
 

@@ -27,7 +27,6 @@ package upc
 
 import (
 	"fmt"
-	"math"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -48,12 +47,23 @@ type Runtime struct {
 	cost costModel
 	// native caches cost.mode() == ModeNative so the per-operation hot
 	// paths (Charge in the force inner loop runs millions of times) pay
-	// one predictable branch instead of an interface dispatch.
-	native bool
+	// one predictable branch instead of an interface dispatch; cpuFactor
+	// caches mach.Compute's threaded-runtime multiplier (1 for process
+	// runtimes — multiplying by exactly 1.0 is a bit-exact no-op) so
+	// Charge is a single fused multiply-add.
+	native    bool
+	cpuFactor float64
 
 	bar  *barrier
 	coll *collSite
 	nic  []nicState
+
+	// coop is the deterministic virtual-time cooperative scheduler
+	// (sched.go); non-nil exactly in ModeSimulate. When set, barriers,
+	// collectives, locks and spin-waits go through baton-passing segments
+	// instead of kernel synchronization, and at most one emulated thread
+	// executes at any moment.
+	coop *sched
 
 	// poisoned is set when a thread panics so that peers blocked in
 	// barriers/collectives abort instead of waiting forever; poisonCh is
@@ -64,9 +74,12 @@ type Runtime struct {
 	threads []*Thread
 }
 
+// nicState tracks when a target thread's NIC frees up. Only the
+// simulate backend reserves NICs, and the cooperative scheduler
+// guarantees a single running thread — even during poisoned unwinding —
+// so plain fields suffice (baton handoffs order all accesses).
 type nicState struct {
-	availAt atomic.Uint64 // float64 bits of the time the NIC frees up
-	_       [7]uint64     // avoid false sharing between adjacent targets
+	availAt float64
 }
 
 // NewRuntime creates a ModeSimulate runtime with mach.Threads SPMD
@@ -80,18 +93,22 @@ func NewRuntime(mach *machine.Machine) *Runtime {
 func NewRuntimeMode(mach *machine.Machine, mode ExecMode) *Runtime {
 	n := mach.Threads
 	rt := &Runtime{
-		mach:     mach,
-		n:        n,
-		cost:     newCostModel(mode),
-		native:   mode == ModeNative,
-		bar:      newBarrier(n),
-		coll:     newCollSite(n),
-		nic:      make([]nicState, n),
-		poisonCh: make(chan struct{}),
+		mach:      mach,
+		n:         n,
+		cost:      newCostModel(mode),
+		native:    mode == ModeNative,
+		cpuFactor: mach.Compute(1),
+		bar:       newBarrier(n),
+		coll:      newCollSite(n),
+		nic:       make([]nicState, n),
+		poisonCh:  make(chan struct{}),
 	}
 	rt.threads = make([]*Thread, n)
 	for i := 0; i < n; i++ {
 		rt.threads[i] = &Thread{rt: rt, id: i}
+	}
+	if mode != ModeNative {
+		rt.coop = newSched(rt)
 	}
 	return rt
 }
@@ -111,9 +128,17 @@ func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
 // the original panic is re-raised on the caller with the thread id and
 // stack attached. Run may be called repeatedly; simulated clocks continue
 // from where the previous Run left them.
+//
+// In ModeSimulate the threads execute under the cooperative virtual-time
+// scheduler (sched.go): one at a time, in deterministic lowest-clock
+// order. In ModeNative they run as freely scheduled parallel goroutines.
 func (rt *Runtime) Run(fn func(t *Thread)) {
 	var wg sync.WaitGroup
 	panics := make(chan string, rt.n)
+	body := fn
+	if rt.coop != nil {
+		body = rt.coop.gatedBody(fn)
+	}
 	for i := 0; i < rt.n; i++ {
 		wg.Add(1)
 		go func(t *Thread) {
@@ -128,8 +153,11 @@ func (rt *Runtime) Run(fn func(t *Thread)) {
 					panics <- msg
 				}
 			}()
-			fn(t)
+			body(t)
 		}(rt.threads[i])
+	}
+	if rt.coop != nil {
+		rt.coop.start()
 	}
 	wg.Wait()
 	close(panics)
@@ -159,6 +187,13 @@ func (rt *Runtime) poison(msg string) {
 	if rt.poisoned.CompareAndSwap(nil, &msg) {
 		close(rt.poisonCh)
 	}
+	if rt.coop != nil {
+		// Cooperative threads all park on their gates; wake them so they
+		// observe the poison and abort. (Only the baton holder can
+		// poison, so no other thread is running right now.)
+		rt.coop.wakeAllParked()
+		return
+	}
 	rt.bar.mu.Lock()
 	rt.bar.cond.Broadcast()
 	rt.bar.mu.Unlock()
@@ -185,23 +220,24 @@ func (rt *Runtime) ResetClocks() {
 	for _, t := range rt.threads {
 		t.stats = Stats{}
 	}
+	if rt.coop != nil {
+		rt.coop.stats = SchedStats{}
+	}
 	rt.cost.reset(rt)
 }
 
 // nicReserve serializes a message arriving at target's NIC at time
 // `arrive`, occupying it for `busy`: it returns the time service starts.
+// It runs once per modelled remote access, so it must stay a handful of
+// plain float operations.
 func (rt *Runtime) nicReserve(target int, arrive, busy float64) float64 {
-	a := &rt.nic[target].availAt
-	for {
-		oldBits := a.Load()
-		start := math.Float64frombits(oldBits)
-		if arrive > start {
-			start = arrive
-		}
-		if a.CompareAndSwap(oldBits, math.Float64bits(start+busy)) {
-			return start
-		}
+	n := &rt.nic[target]
+	start := n.availAt
+	if arrive > start {
+		start = arrive
 	}
+	n.availAt = start + busy
+	return start
 }
 
 // Thread is one emulated UPC thread. All methods must be called from the
@@ -211,6 +247,17 @@ type Thread struct {
 	id    int
 	clock float64
 	stats Stats
+
+	// gatherGroups is the per-source grouping scratch of
+	// GatherAsyncBytes, retained so steady-state gathers allocate
+	// nothing. Owned by the thread.
+	gatherGroups []gatherGroup
+}
+
+// gatherGroup is one source thread's share of an aggregated gather.
+type gatherGroup struct {
+	thr   int32
+	count int32
 }
 
 // ID returns the UPC MYTHREAD value.
@@ -234,7 +281,7 @@ func (t *Thread) Charge(sec float64) {
 	if t.rt.native {
 		return
 	}
-	t.clock += t.rt.mach.Compute(sec)
+	t.clock += sec * t.rt.cpuFactor
 }
 
 // ChargeRaw accounts exactly sec of already-modelled cost.

@@ -29,6 +29,13 @@ func (s *Scalar[T]) Read(t *Thread) T {
 		t.stats.RemoteGets++
 		t.remoteRoundTrip(0, scalarBytes)
 	}
+	if t.rt.coop != nil {
+		// Cooperative simulate: one thread runs at a time, and the
+		// scheduler's baton handoffs order all accesses — no lock needed.
+		// Baseline-level code reads scalars per interaction, so this is
+		// a hot path.
+		return s.v
+	}
 	s.mu.RLock()
 	v := s.v
 	s.mu.RUnlock()
@@ -42,6 +49,10 @@ func (s *Scalar[T]) Write(t *Thread, v T) {
 	} else {
 		t.stats.RemotePuts++
 		t.remoteRoundTrip(0, scalarBytes)
+	}
+	if t.rt.coop != nil {
+		s.v = v
+		return
 	}
 	s.mu.Lock()
 	s.v = v
