@@ -28,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
 		"fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "fig13",
 		"ext-cache", "ext-mpi", "ext-native", "imbalance", "layout", "sched",
+		"scaling",
 	}
 	got := map[string]bool{}
 	for _, e := range All() {

@@ -32,6 +32,7 @@ func extensionExperiments() []Experiment {
 		imbalanceExperiment(),
 		layoutExperiment(),
 		schedExperiment(),
+		scalingExperiment(),
 	}
 }
 

@@ -68,6 +68,7 @@ type Report struct {
 	Title   string      `json:"title"`
 	Paper   string      `json:"paper,omitempty"`
 	Params  Params      `json:"params"`
+	Env     Env         `json:"env"`
 	Configs []ConfigRun `json:"configs,omitempty"`
 	// Data carries experiment-specific structured results that do not
 	// come from core.Sim runs (e.g. the layout experiment's kernel
@@ -89,6 +90,7 @@ type Trajectory struct {
 	Generated string      `json:"generated,omitempty"` // RFC3339, filled by the CLI
 	GoVersion string      `json:"go_version,omitempty"`
 	Params    Params      `json:"params"`
+	Env       Env         `json:"env"`
 	Runner    RunnerStats `json:"runner"`
 	Reports   []*Report   `json:"reports"`
 }

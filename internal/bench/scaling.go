@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"upcbh/internal/core"
+)
+
+// scalingExperiment is the native strong-scaling wall: it sweeps real
+// thread counts on the host hardware (ModeNative — goroutines, real
+// barriers, wall-clock phase timers) and records per-phase scaling and
+// parallel efficiency into a structured report that CI uploads as
+// BENCH_scaling.json. This is the measurement the paper's tables make on
+// the InfiniBand cluster and the simulate backend can only model; every
+// point carries the Env machine stamp so a 1-core container's numbers
+// can never masquerade as a scaling result.
+//
+// Methodology: each (scenario, n, threads) point is run min-of-K —
+// K fresh simulations, keeping the minimum of each phase's summed
+// measured-step wall clock — with GOMAXPROCS pinned to the thread count
+// so the Go scheduler cannot lend idle cores to a low-thread
+// configuration. Points are run directly through core.New/Run, not the
+// memoizing Runner (repeat rounds must re-measure, not hit the cache),
+// and strictly sequentially (a concurrent native run would steal cores
+// from the one being timed).
+func scalingExperiment() Experiment {
+	return Experiment{
+		ID:    "scaling",
+		Title: "Extension: native multi-core strong-scaling wall",
+		Paper: "Tables 5-8 measure strong scaling in simulated time on the modelled cluster; this extension measures the real thing: wall-clock per-phase strong scaling of the native backend on the host's cores",
+		run:   runScaling,
+	}
+}
+
+// scalingRounds is the min-of-K round count per point.
+const scalingRounds = 3
+
+// ScalingPoint is one (threads) measurement within a series: per-phase
+// minima over the rounds, in seconds of wall clock summed over the
+// measured steps.
+type ScalingPoint struct {
+	Threads    int `json:"threads"`
+	Gomaxprocs int `json:"gomaxprocs"`
+	// Oversubscribed marks points with more threads than host CPUs:
+	// they measure scheduler timesharing, not parallel scaling, and are
+	// excluded from efficiency interpretation (printed for completeness
+	// on small hosts so the wall always has >= 2 thread counts).
+	Oversubscribed bool    `json:"oversubscribed,omitempty"`
+	Rounds         int     `json:"rounds"`
+	TreeSec        float64 `json:"tree_sec"`
+	CofmSec        float64 `json:"cofm_sec"`
+	PartitionSec   float64 `json:"partition_sec"`
+	RedistSec      float64 `json:"redist_sec"`
+	ForceSec       float64 `json:"force_sec"`
+	AdvanceSec     float64 `json:"advance_sec"`
+	TotalSec       float64 `json:"total_sec"`
+	// Parallel efficiencies t(1) / (T * t(T)) against the series'
+	// 1-thread point (1.0 = perfect linear scaling).
+	ForceEff float64 `json:"force_eff,omitempty"`
+	TotalEff float64 `json:"total_eff,omitempty"`
+
+	Interactions uint64 `json:"interactions"`
+}
+
+// ScalingSeries is the scaling wall of one workload: thread counts swept
+// at fixed scenario and body count.
+type ScalingSeries struct {
+	Scenario string         `json:"scenario"`
+	Bodies   int            `json:"bodies"`
+	Level    string         `json:"level"`
+	Points   []ScalingPoint `json:"points"`
+}
+
+// ScalingReport is the structured Data of the scaling experiment (the
+// payload of BENCH_scaling.json; the machine stamp rides on the
+// enclosing Report's Env).
+type ScalingReport struct {
+	Env    Env             `json:"env"`
+	Rounds int             `json:"rounds"`
+	Series []ScalingSeries `json:"series"`
+}
+
+// scalingThreads returns the thread counts to sweep: an explicit
+// -threads list verbatim, or doubling counts 1,2,4,... capped to the
+// host's CPUs (always including NumCPU itself). A host too small for two
+// in-budget counts gets a 2-thread oversubscribed point instead — the
+// wall must always have >= 2 thread counts to say anything at all.
+func scalingThreads(p Params) []int {
+	if len(p.NativeThreads) > 0 {
+		return append([]int(nil), p.NativeThreads...)
+	}
+	max := runtime.NumCPU()
+	if p.MaxThreads > 0 && p.MaxThreads < max {
+		max = p.MaxThreads
+	}
+	var out []int
+	for th := 1; th < max; th *= 2 {
+		out = append(out, th)
+	}
+	out = append(out, max)
+	if len(out) == 1 {
+		out = append(out, 2*max)
+	}
+	return out
+}
+
+func runScaling(x *Exec) (string, error) {
+	p := x.P
+	env := CaptureEnv()
+	threads := scalingThreads(p)
+	level := core.LevelMergedBuild // the full native flat pipeline
+
+	type workload struct {
+		scenario string
+		bodies   int
+	}
+	var workloads []workload
+	scenarios := []string{"plummer", "clustered"}
+	if p.Scenario != "" {
+		scenarios = []string{p.Scenario}
+	}
+	for _, sc := range scenarios {
+		for _, n := range []int{p.bodies(16384), p.bodies(65536)} {
+			workloads = append(workloads, workload{sc, n})
+		}
+	}
+
+	rep := &ScalingReport{Env: env, Rounds: scalingRounds}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Native strong-scaling wall: %d CPUs (%s), level %s, min of %d rounds\n",
+		env.NumCPU, env.CPUModel, level, scalingRounds)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, w := range workloads {
+		series := ScalingSeries{Scenario: w.scenario, Bodies: w.bodies, Level: level.String()}
+		for _, th := range threads {
+			pt, err := scalingMeasure(p, w.scenario, w.bodies, th, level)
+			if err != nil {
+				return "", err
+			}
+			pt.Oversubscribed = th > env.NumCPU
+			series.Points = append(series.Points, pt)
+		}
+		// Efficiency against the series' 1-thread point when present.
+		if base := series.Points[0]; base.Threads == 1 {
+			for i := range series.Points {
+				pt := &series.Points[i]
+				if pt.ForceSec > 0 {
+					pt.ForceEff = base.ForceSec / (float64(pt.Threads) * pt.ForceSec)
+				}
+				if pt.TotalSec > 0 {
+					pt.TotalEff = base.TotalSec / (float64(pt.Threads) * pt.TotalSec)
+				}
+			}
+		}
+		rep.Series = append(rep.Series, series)
+
+		fmt.Fprintf(&b, "\n%s, n=%d:\n", w.scenario, w.bodies)
+		fmt.Fprintf(&b, "%8s %10s %10s %10s %10s %10s %10s %9s %9s\n",
+			"threads", "tree", "cofm+part", "redist", "force", "advance", "total", "force-eff", "total-eff")
+		for _, pt := range series.Points {
+			mark := ""
+			if pt.Oversubscribed {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%7d%1s %10s %10s %10s %10s %10s %10s %9s %9s\n",
+				pt.Threads, mark,
+				fmtTime(pt.TreeSec), fmtTime(pt.CofmSec+pt.PartitionSec), fmtTime(pt.RedistSec),
+				fmtTime(pt.ForceSec), fmtTime(pt.AdvanceSec), fmtTime(pt.TotalSec),
+				fmtEff(pt.ForceEff), fmtEff(pt.TotalEff))
+		}
+	}
+	if anyOversubscribed(rep) {
+		b.WriteString("\n(* oversubscribed: more threads than host CPUs — timesharing, not scaling)\n")
+	}
+	x.SetData(rep)
+	return b.String(), nil
+}
+
+func fmtEff(e float64) string {
+	if e == 0 || math.IsInf(e, 0) || math.IsNaN(e) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", e)
+}
+
+func anyOversubscribed(rep *ScalingReport) bool {
+	for _, s := range rep.Series {
+		for _, pt := range s.Points {
+			if pt.Oversubscribed {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scalingMeasure runs one (scenario, n, threads) point: scalingRounds
+// fresh native simulations with GOMAXPROCS pinned to the thread count,
+// keeping the per-phase minimum of the measured-step wall clock.
+func scalingMeasure(p Params, scenario string, n, threads int, level core.Level) (ScalingPoint, error) {
+	opts := options(p, n, threads, level, nil)
+	opts.ExecMode = core.ModeNative
+	opts.Scenario = scenario
+
+	prev := runtime.GOMAXPROCS(threads)
+	defer runtime.GOMAXPROCS(prev)
+
+	pt := ScalingPoint{Threads: threads, Gomaxprocs: threads, Rounds: scalingRounds}
+	var minPh core.PhaseTimes
+	for i := range minPh {
+		minPh[i] = math.Inf(1)
+	}
+	minTotal := math.Inf(1)
+	for r := 0; r < scalingRounds; r++ {
+		sim, err := core.New(opts)
+		if err != nil {
+			return pt, err
+		}
+		res, err := sim.Run()
+		sim.Release()
+		if err != nil {
+			return pt, err
+		}
+		for i, v := range res.Phases {
+			if v < minPh[i] {
+				minPh[i] = v
+			}
+		}
+		if t := res.Total(); t < minTotal {
+			minTotal = t
+		}
+		pt.Interactions = res.Interactions
+	}
+	pt.TreeSec = minPh[core.PhaseTree]
+	pt.CofmSec = minPh[core.PhaseCofM]
+	pt.PartitionSec = minPh[core.PhasePartition]
+	pt.RedistSec = minPh[core.PhaseRedist]
+	pt.ForceSec = minPh[core.PhaseForce]
+	pt.AdvanceSec = minPh[core.PhaseAdvance]
+	pt.TotalSec = minTotal
+	return pt, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestScalingExperiment runs the native scaling wall at a tiny scale and
+// checks the structural acceptance contract of BENCH_scaling.json: at
+// least two thread counts per series, per-phase wall-clock data, an Env
+// machine stamp, and efficiency normalized to 1.0 at one thread.
+func TestScalingExperiment(t *testing.T) {
+	e, err := ByID("scaling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Scale: 0.02, Steps: 2, Warmup: 1, Scenario: "plummer"}
+	rep, err := e.Run(NewRunner(0), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Env.NumCPU < 1 || rep.Env.GoVersion == "" {
+		t.Errorf("report env not stamped: %+v", rep.Env)
+	}
+	data, ok := rep.Data.(*ScalingReport)
+	if !ok {
+		t.Fatalf("report data is %T, want *ScalingReport", rep.Data)
+	}
+	if data.Env.NumCPU != runtime.NumCPU() {
+		t.Errorf("data env NumCPU = %d, want %d", data.Env.NumCPU, runtime.NumCPU())
+	}
+	if len(data.Series) == 0 {
+		t.Fatal("no scaling series")
+	}
+	for _, s := range data.Series {
+		if len(s.Points) < 2 {
+			t.Fatalf("series %s/%d has %d thread counts, want >= 2", s.Scenario, s.Bodies, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			if pt.ForceSec <= 0 || pt.TotalSec <= 0 {
+				t.Errorf("series %s/%d threads %d: non-positive phase times %+v", s.Scenario, s.Bodies, pt.Threads, pt)
+			}
+			if pt.Gomaxprocs != pt.Threads {
+				t.Errorf("threads %d ran with GOMAXPROCS %d", pt.Threads, pt.Gomaxprocs)
+			}
+			if pt.Oversubscribed != (pt.Threads > runtime.NumCPU()) {
+				t.Errorf("threads %d: oversubscribed flag %v on a %d-CPU host", pt.Threads, pt.Oversubscribed, runtime.NumCPU())
+			}
+		}
+		if base := s.Points[0]; base.Threads == 1 && (base.ForceEff != 1 || base.TotalEff != 1) {
+			t.Errorf("1-thread efficiency = %g/%g, want 1/1", base.ForceEff, base.TotalEff)
+		}
+	}
+	if !strings.Contains(rep.Text, "strong-scaling wall") {
+		t.Errorf("text header missing:\n%s", rep.Text)
+	}
+}
+
+// TestScalingThreadsSweep pins the sweep construction: explicit lists
+// pass through verbatim, defaults double up to the CPU budget, and a
+// 1-CPU host still gets two counts (the second flagged oversubscribed by
+// the experiment).
+func TestScalingThreadsSweep(t *testing.T) {
+	if got := scalingThreads(Params{NativeThreads: []int{3, 1}}); len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("explicit list not passed through: %v", got)
+	}
+	def := scalingThreads(Params{})
+	if len(def) < 2 {
+		t.Errorf("default sweep %v has fewer than 2 counts", def)
+	}
+	if def[0] != 1 {
+		t.Errorf("default sweep %v does not start at 1 thread", def)
+	}
+	capped := scalingThreads(Params{MaxThreads: 1})
+	if len(capped) != 2 || capped[0] != 1 || capped[1] != 2 {
+		t.Errorf("capped 1-CPU-style sweep = %v, want [1 2]", capped)
+	}
+}

@@ -262,15 +262,17 @@ func (s *Sim) costzones(t *upc.Thread, st *tstate) {
 // the local copies, and compact into the alternate buffer when full.
 func (s *Sim) redistribute(t *upc.Thread, st *tstate, measured bool) {
 	me := int32(t.ID())
-	remoteIdx := st.remoteIdx[:0]
-	remoteRefs := st.remoteRefs[:0]
+	// Parity-indexed scratch: see the tstate field comment.
+	rs := &st.remote[st.stepParity]
+	remoteIdx := rs.idx[:0]
+	remoteRefs := rs.refs[:0]
 	for i, br := range st.myBodies {
 		if br.Thr != me {
 			remoteIdx = append(remoteIdx, i)
 			remoteRefs = append(remoteRefs, br)
 		}
 	}
-	st.remoteIdx, st.remoteRefs = remoteIdx, remoteRefs
+	rs.idx, rs.refs = remoteIdx, remoteRefs
 	if measured {
 		st.migrated += len(remoteRefs)
 		st.ownedTot += len(st.myBodies)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"upcbh/internal/octree"
 	"upcbh/internal/upc"
 )
@@ -14,10 +17,12 @@ import (
 //     bodies and builds its local tree in a flat arena, then emits the
 //     cells into its heap shard in one DFS pass (buildLocalFlat);
 //   - force computation (LevelCacheTree and above): thread 0 snapshots
-//     the fully built global tree into a shared flat arena once per
-//     step, and every thread walks it with the batched explicit-stack
-//     kernel (forceFlat) — the logical conclusion of the paper's §5.3
-//     local-tree caching on a real shared-memory host.
+//     the fully built global tree into a double-buffered flat arena once
+//     per step and publishes it RCU-style through an epoch-tagged atomic
+//     pointer (no barrier), and every thread walks it with the batched
+//     explicit-stack kernel (forceFlat) — the logical conclusion of the
+//     paper's §5.3 local-tree caching on a real shared-memory host. See
+//     DESIGN.md §10 for the happens-before argument.
 //
 // The simulate backend never takes these paths, so its charged phase
 // tables stay byte-identical (pinned by the goldens). Physics is
@@ -34,11 +39,17 @@ func (s *Sim) nativeFlat() bool {
 	return s.o.ExecMode == ModeNative && !s.o.DisableFlat
 }
 
-// flatState is the per-Sim shared flat snapshot of the global tree plus
-// the ref->leaf index used to reproduce the pointer walk's self-skip.
-// All arenas are retained across steps; thread 0 rebuilds the snapshot
-// inside the force phase, separated from the readers by a barrier.
-type flatState struct {
+// flatSnap is one published flat snapshot of the global tree plus the
+// ref->leaf index used to reproduce the pointer walk's self-skip. Two of
+// these live in flatState; their arenas are retained across steps and
+// each is rebuilt in place every other step.
+type flatSnap struct {
+	// epoch tags which forceFlat entry built this snapshot. Written by
+	// thread 0 strictly before the release-store that publishes the
+	// snapshot, so a reader that observes its expected epoch through
+	// flatState.cur also observes every arena write of the build.
+	epoch uint64
+
 	ft octree.FlatTree
 	// leafIdx maps a bodies-heap ref (shard, index) to 1+its SoA slot in
 	// ft; 0 means the ref is not a leaf of the snapshot. Cleared and
@@ -47,53 +58,90 @@ type flatState struct {
 }
 
 // skipFor returns the snapshot SoA slot holding ref, or -1 — exactly the
-// nodes the pointer walk would skip by bodyRef equality.
-func (fs *flatState) skipFor(r upc.Ref) int32 {
-	shard := fs.leafIdx[r.Thr]
+// nodes the pointer walk would skip by bodyRef equality. Refs past the
+// end of a shard's index (bodies gathered into fresh slots after the
+// snapshot was taken) are never snapshot leaves, hence -1.
+func (sn *flatSnap) skipFor(r upc.Ref) int32 {
+	shard := sn.leafIdx[r.Thr]
 	if int(r.Idx) >= len(shard) {
 		return -1
 	}
 	return shard[r.Idx] - 1
 }
 
-// flattenGlobal rebuilds the shared snapshot from the global tree: DFS
+// flatState is the per-Sim RCU publication point of the flat snapshot.
+// Thread 0 builds each step's snapshot into the parity buffer
+// bufs[epoch&1] and publishes it with a single atomic pointer swap; the
+// other threads acquire it by epoch instead of rendezvousing at a
+// barrier. Double buffering makes publication of step k+1 independent of
+// any reader of step k: the builder only ever reuses the arena whose
+// readers are two force barriers in the past.
+type flatState struct {
+	cur  atomic.Pointer[flatSnap]
+	bufs [2]flatSnap
+}
+
+// acquire spins (yielding) until the snapshot for the given epoch is
+// published and returns it. The force phase still ends at a barrier, so
+// publication can never lap a reader by a full cycle; an epoch from the
+// future means phase structure diverged across threads, which is a bug
+// worth crashing on.
+func (fs *flatState) acquire(epoch uint64) *flatSnap {
+	for {
+		sn := fs.cur.Load()
+		if sn != nil {
+			if sn.epoch == epoch {
+				return sn
+			}
+			if sn.epoch > epoch {
+				panic("core: flat snapshot epoch overrun (reader lapped by publisher)")
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// flattenGlobal rebuilds one snapshot buffer from the global tree: DFS
 // preorder over the cells heap (uncharged Raw access — the build phase
-// is complete and barrier-separated), children in octant order,
-// aggregate values copied verbatim. Bodies are packed into the SoA/PM
-// views in DFS leaf order with their heap refs indexed for self-skip.
-func (s *Sim) flattenGlobal(t *upc.Thread, st *tstate) {
-	fs := s.flat
-	ft := &fs.ft
+// is complete and ordered before the force phase by the partition
+// barrier and the acquire of the published pointer), children in octant
+// order, aggregate values copied verbatim. Bodies are packed into the
+// SoA/PM views in DFS leaf order with their heap refs indexed for
+// self-skip. The tree leaves reference body slots as of build time;
+// a concurrent redistribute on another thread only writes slots beyond
+// its shard's snapshot range (gather appends) or in its idle alternate
+// buffer (compaction), so every slot this pass reads is frozen.
+func (s *Sim) flattenGlobal(t *upc.Thread, st *tstate, sn *flatSnap) {
+	ft := &sn.ft
 	ft.Nodes = ft.Nodes[:0]
 	ft.Meta = ft.Meta[:0]
 	ft.Kids = ft.Kids[:0]
 	ft.Bodies.Resize(0)
 	ft.PM = ft.PM[:0]
 
-	if fs.leafIdx == nil {
-		fs.leafIdx = make([][]int32, t.P())
+	if sn.leafIdx == nil {
+		sn.leafIdx = make([][]int32, t.P())
 	}
-	for thr := range fs.leafIdx {
+	for thr := range sn.leafIdx {
 		n := s.bodies.Len(thr)
-		if cap(fs.leafIdx[thr]) < n {
-			fs.leafIdx[thr] = make([]int32, n)
+		if cap(sn.leafIdx[thr]) < n {
+			sn.leafIdx[thr] = make([]int32, n)
 		}
-		shard := fs.leafIdx[thr][:n]
+		shard := sn.leafIdx[thr][:n]
 		for i := range shard {
 			shard[i] = 0
 		}
-		fs.leafIdx[thr] = shard
+		sn.leafIdx[thr] = shard
 	}
 
 	root := s.readRoot(t, st)
 	ft.Center = s.cells.Raw(root.Ref()).Center
 	ft.Half = s.cells.Raw(root.Ref()).Half
-	s.flattenCell(root.Ref())
+	s.flattenCell(sn, root.Ref())
 }
 
-func (s *Sim) flattenCell(r upc.Ref) int32 {
-	fs := s.flat
-	ft := &fs.ft
+func (s *Sim) flattenCell(sn *flatSnap, r upc.Ref) int32 {
+	ft := &sn.ft
 	c := s.cells.Raw(r)
 	idx := int32(len(ft.Nodes))
 	l := 2 * c.Half
@@ -126,10 +174,10 @@ func (s *Sim) flattenCell(r upc.Ref) int32 {
 			ft.Bodies.Resize(int(bi) + 1)
 			ft.Bodies.Set(int(bi), b.Pos, b.Mass, b.Cost, b.ID)
 			ft.PM = append(ft.PM, octree.PosMass{Pos: b.Pos, Mass: b.Mass})
-			fs.leafIdx[br.Thr][br.Idx] = bi + 1
+			sn.leafIdx[br.Thr][br.Idx] = bi + 1
 			ft.Kids[ki] = octree.FlatLeaf(bi)
 		} else {
-			ft.Kids[ki] = s.flattenCell(slot.Ref())
+			ft.Kids[ki] = s.flattenCell(sn, slot.Ref())
 		}
 		ki++
 	}
@@ -137,17 +185,27 @@ func (s *Sim) flattenCell(r upc.Ref) int32 {
 }
 
 // forceFlat is the native force phase for LevelCacheTree and above:
-// snapshot once (thread 0), then walk batches of FlatBatchWidth owned
-// bodies through the shared flat kernel. Zero allocations in steady
-// state — the snapshot arenas, the leaf index, and each thread's walker
-// scratch are all retained across steps.
+// thread 0 snapshots the tree into the current parity buffer and
+// publishes it with an atomic pointer swap; every thread (thread 0
+// included) acquires the snapshot by epoch and walks batches of
+// FlatBatchWidth owned bodies through the shared flat kernel. There is
+// no entry barrier: a thread that reaches the force phase early spins
+// only until publication, not until the slowest thread's redistribute,
+// and thread 0 starts flattening without waiting for anyone. Zero
+// allocations in steady state — both snapshot buffers' arenas, the leaf
+// indexes, and each thread's walker scratch are all retained across
+// steps.
 func (s *Sim) forceFlat(t *upc.Thread, st *tstate, measured bool) {
+	st.flatEpoch++
 	if t.ID() == 0 {
-		s.flattenGlobal(t, st)
+		sn := &s.flat.bufs[st.flatEpoch&1]
+		s.flattenGlobal(t, st, sn)
+		sn.epoch = st.flatEpoch
+		s.flat.cur.Store(sn)
 	}
-	t.Barrier()
+	sn := s.flat.acquire(st.flatEpoch)
 
-	ft := &s.flat.ft
+	ft := &sn.ft
 	tol, eps := st.tol, st.eps // replicated at LevelScalars and above
 	var fb octree.FlatBatch
 	mb := st.myBodies
@@ -160,7 +218,7 @@ func (s *Sim) forceFlat(t *upc.Thread, st *tstate, measured bool) {
 		for lane := 0; lane < w; lane++ {
 			br := mb[base+lane]
 			fb.Pos[lane] = s.bodies.Local(t, br).Pos
-			fb.Skip[lane] = s.flat.skipFor(br)
+			fb.Skip[lane] = sn.skipFor(br)
 		}
 		st.fwalker.ForceBatch(ft, &fb, tol, eps)
 		for lane := 0; lane < w; lane++ {

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"testing"
 
 	"upcbh/internal/upc"
@@ -131,9 +132,13 @@ func TestNativeFlatSnapshotCoversTree(t *testing.T) {
 		if th.ID() != 0 {
 			return
 		}
-		sim := currentSim
-		snapBodies = append(snapBodies, sim.flat.ft.Bodies.Len())
-		snapCells = append(snapCells, len(sim.flat.ft.Nodes))
+		sn := currentSim.flat.cur.Load()
+		if sn == nil {
+			t.Error("no snapshot published by end of step")
+			return
+		}
+		snapBodies = append(snapBodies, sn.ft.Bodies.Len())
+		snapCells = append(snapCells, len(sn.ft.Nodes))
 	}
 	sim, err := New(opts)
 	if err != nil {
@@ -151,6 +156,128 @@ func TestNativeFlatSnapshotCoversTree(t *testing.T) {
 		if snapCells[i] < 1 || snapCells[i] > 2*opts.Bodies {
 			t.Errorf("step %d: implausible snapshot cell count %d", i, snapCells[i])
 		}
+	}
+}
+
+// TestNativeFlatSkipForLeafIdx is the direct unit test of the snapshot's
+// self-skip index, in a configuration with real migration (multi-thread,
+// clustered): for every owned body, skipFor either names the snapshot
+// slot holding exactly that body's stale copy (leaf present at build
+// time) or returns -1 (the body migrated this step into a fresh slot the
+// snapshot has never seen), and the -1 count per thread is exactly that
+// thread's migration count. The >0 leafIdx entries must be a bijection
+// onto the snapshot's body slots.
+func TestNativeFlatSkipForLeafIdx(t *testing.T) {
+	opts := DefaultOptions(1024, 4, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 3, 1
+	opts.ExecMode = ModeNative
+	opts.Scenario = "clustered"
+	var mu sync.Mutex
+	checked := 0
+	opts.testStepHook = func(th *upc.Thread, step int) {
+		s := currentSim
+		st := s.ts[th.ID()]
+		sn := s.flat.cur.Load()
+		if sn == nil {
+			t.Error("no snapshot published")
+			return
+		}
+		if th.ID() == 0 {
+			// Bijection: the nonzero index entries cover each snapshot
+			// slot exactly once.
+			seen := make([]bool, sn.ft.Bodies.Len())
+			nz := 0
+			for _, shard := range sn.leafIdx {
+				for _, v := range shard {
+					if v == 0 {
+						continue
+					}
+					slot := int(v - 1)
+					if slot < 0 || slot >= len(seen) || seen[slot] {
+						t.Errorf("step %d: leafIdx entry %d out of range or duplicated", step, v)
+						continue
+					}
+					seen[slot] = true
+					nz++
+				}
+			}
+			if nz != sn.ft.Bodies.Len() {
+				t.Errorf("step %d: %d leafIdx entries for %d snapshot slots", step, nz, sn.ft.Bodies.Len())
+			}
+			// Refs past the shard's indexed range are never leaves.
+			if got := sn.skipFor(upc.Ref{Thr: 0, Idx: 1 << 30}); got != -1 {
+				t.Errorf("out-of-range ref: skipFor = %d, want -1", got)
+			}
+		}
+		// Per-thread: every owned body resolves to its own stale copy or
+		// to -1, and the -1s are exactly this step's migrations.
+		fresh := 0
+		for _, br := range st.myBodies {
+			slot := sn.skipFor(br)
+			if slot < 0 {
+				fresh++
+				continue
+			}
+			if want := s.bodies.Raw(br).ID; sn.ft.Bodies.ID[slot] != want {
+				t.Errorf("step %d thread %d: skipFor slot %d holds body %d, want %d",
+					step, th.ID(), slot, sn.ft.Bodies.ID[slot], want)
+			}
+		}
+		if migrated := len(st.remote[st.stepParity].refs); fresh != migrated {
+			t.Errorf("step %d thread %d: %d bodies without snapshot leaf, but %d migrated",
+				step, th.ID(), fresh, migrated)
+		}
+		mu.Lock()
+		checked++
+		mu.Unlock()
+	}
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	currentSim = sim
+	defer func() { currentSim = nil }()
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := opts.Steps * 4; checked != want {
+		t.Fatalf("hook checked %d thread-steps, want %d", checked, want)
+	}
+}
+
+// TestNativeFlatRelaxedSyncStress exercises the barrier-free
+// redistribute→force boundary hard: no Verify barrier, several steps,
+// multiple threads, migration-heavy scenario. Run under -race this is
+// the regression gate for the RCU snapshot publication; in any mode it
+// cross-checks the relaxed schedule's physics against the fully
+// barriered pointer path.
+func TestNativeFlatRelaxedSyncStress(t *testing.T) {
+	for _, level := range []Level{LevelCacheTree, LevelMergedBuild} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			mk := func(disableFlat bool) *Result {
+				opts := DefaultOptions(2048, 4, level)
+				opts.Steps, opts.Warmup = 5, 1
+				opts.ExecMode = ModeNative
+				opts.Scenario = "clustered"
+				opts.DisableFlat = disableFlat
+				sim, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			flat := mk(false)
+			ptr := mk(true)
+			worstPos, worstVel := comparePhysics(t, flat, ptr)
+			if worstPos > 1e-9 || worstVel > 1e-9 {
+				t.Errorf("relaxed-sync physics diverges from barriered pointer path: pos %g vel %g", worstPos, worstVel)
+			}
+		})
 	}
 }
 

@@ -537,19 +537,68 @@ func (w *FlatWalker) ForceBatch(ft *FlatTree, b *FlatBatch, theta, eps float64) 
 		w.stack = stack[:0]
 	}
 
-	// Phase 2: stream each lane's contiguous list through the shared
-	// Interact kernel.
+	// Phase 2: stream each lane's contiguous list through the interaction
+	// kernel. Phase 1 already hoisted every data-dependent branch (accept
+	// tests, self-skip) out of this loop, so the body is straight-line
+	// float code over packed 32-byte PosMass records: unrolled four wide
+	// with scalar component accumulators, the four sqrt/divide chains per
+	// iteration are independent and overlap in the hardware pipelines,
+	// and nothing here needs the branch predictor. Each accumulator is
+	// updated strictly in list order with the exact operation shapes of
+	// nbody.InteractAccum (dx*dx+dy*dy+dz*dz+epsSq; 1/sqrt; m*inv³), so
+	// the sums stay bit-identical to the recursive pointer walk's —
+	// unrolling only reorders operations across *independent* chains,
+	// never within an accumulator's dependency chain.
 	for lane := 0; lane < n; lane++ {
 		list := w.list[lane]
 		p := pos[lane]
-		var acc vec.V3
-		var phi float64
-		for i := range list {
-			da, dp := nbody.Interact(p, list[i].Pos, list[i].Mass, epsSq)
-			acc = acc.Add(da)
-			phi += dp
+		px, py, pz := p.X, p.Y, p.Z
+		var accX, accY, accZ, phi float64
+		i := 0
+		for ; i+4 <= len(list); i += 4 {
+			q0, q1, q2, q3 := &list[i], &list[i+1], &list[i+2], &list[i+3]
+			dx0, dy0, dz0 := q0.Pos.X-px, q0.Pos.Y-py, q0.Pos.Z-pz
+			dx1, dy1, dz1 := q1.Pos.X-px, q1.Pos.Y-py, q1.Pos.Z-pz
+			dx2, dy2, dz2 := q2.Pos.X-px, q2.Pos.Y-py, q2.Pos.Z-pz
+			dx3, dy3, dz3 := q3.Pos.X-px, q3.Pos.Y-py, q3.Pos.Z-pz
+			inv0 := 1 / math.Sqrt(dx0*dx0+dy0*dy0+dz0*dz0+epsSq)
+			inv1 := 1 / math.Sqrt(dx1*dx1+dy1*dy1+dz1*dz1+epsSq)
+			inv2 := 1 / math.Sqrt(dx2*dx2+dy2*dy2+dz2*dz2+epsSq)
+			inv3 := 1 / math.Sqrt(dx3*dx3+dy3*dy3+dz3*dz3+epsSq)
+			s0 := q0.Mass * inv0 * inv0 * inv0
+			s1 := q1.Mass * inv1 * inv1 * inv1
+			s2 := q2.Mass * inv2 * inv2 * inv2
+			s3 := q3.Mass * inv3 * inv3 * inv3
+			accX += dx0 * s0
+			accY += dy0 * s0
+			accZ += dz0 * s0
+			phi += -q0.Mass * inv0
+			accX += dx1 * s1
+			accY += dy1 * s1
+			accZ += dz1 * s1
+			phi += -q1.Mass * inv1
+			accX += dx2 * s2
+			accY += dy2 * s2
+			accZ += dz2 * s2
+			phi += -q2.Mass * inv2
+			accX += dx3 * s3
+			accY += dy3 * s3
+			accZ += dz3 * s3
+			phi += -q3.Mass * inv3
 		}
-		b.Acc[lane], b.Phi[lane], b.Inter[lane] = acc, phi, len(list)
+		for ; i < len(list); i++ {
+			q := &list[i]
+			dx, dy, dz := q.Pos.X-px, q.Pos.Y-py, q.Pos.Z-pz
+			inv := 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+epsSq)
+			s := q.Mass * inv * inv * inv
+			accX += dx * s
+			accY += dy * s
+			accZ += dz * s
+			phi += -q.Mass * inv
+		}
+		b.Acc[lane] = vec.V3{X: accX, Y: accY, Z: accZ}
+		b.Phi[lane] = phi
+		b.Inter[lane] = len(list)
 	}
 }
 

@@ -293,3 +293,56 @@ func FuzzFlatEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// TestForceBatchUnrollReferenceStream pins the widened phase-2 loop
+// against the canonical interaction kernel: after a batch walk,
+// re-streaming each lane's gathered interaction list through
+// nbody.InteractAccum in list order must reproduce Acc/Phi to within
+// ulpTol. The body counts and thetas sweep list lengths across the
+// 4-wide unroll boundary, so every remainder 0..3 is exercised.
+//
+// The comparison uses ulpTol rather than exact == for the reason the
+// file header documents: a reference loop compiled here is a separate
+// inlined copy of the same expressions, and copies can differ by an ulp
+// even though the kernel itself is deterministic. The hard bit-identity
+// contract of the unroll — that it reproduces the recursive pointer
+// walk exactly — is enforced by TestFlatVsPointerPerScenario and
+// FuzzFlatEquivalence, which compare package-compiled code paths.
+func TestForceBatchUnrollReferenceStream(t *testing.T) {
+	const eps = 0.05
+	epsSq := eps * eps
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 9, 16, 33, 257} {
+		bodies := nbody.Plummer(n, uint64(n))
+		ft := BuildFlat(bodies)
+		var w FlatWalker
+		var b FlatBatch
+		for _, theta := range []float64{0.5, 1.0, 1.8} {
+			for base := 0; base < ft.Bodies.Len(); base += FlatBatchWidth {
+				wd := FlatBatchWidth
+				if ft.Bodies.Len()-base < wd {
+					wd = ft.Bodies.Len() - base
+				}
+				b.N = wd
+				for lane := 0; lane < wd; lane++ {
+					b.Pos[lane] = ft.Bodies.Pos[base+lane]
+					b.Skip[lane] = int32(base + lane)
+				}
+				w.ForceBatch(ft, &b, theta, eps)
+				// The walker retains each lane's gathered list after the
+				// call; the unrolled loop must have consumed it exactly as
+				// the straight-line reference stream would.
+				for lane := 0; lane < wd; lane++ {
+					var acc vec.V3
+					var phi float64
+					for _, q := range w.list[lane] {
+						nbody.InteractAccum(&acc, &phi, b.Pos[lane], q.Pos, q.Mass, epsSq)
+					}
+					if !vecClose(b.Acc[lane], acc, ulpTol) || !relClose(b.Phi[lane], phi, ulpTol) {
+						t.Fatalf("n=%d theta=%g lane %d (list len %d): batch {%v %g} != reference {%v %g}",
+							n, theta, lane, len(w.list[lane]), b.Acc[lane], b.Phi[lane], acc, phi)
+					}
+				}
+			}
+		}
+	}
+}
