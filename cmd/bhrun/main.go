@@ -6,15 +6,36 @@
 //
 //	bhrun -n 16384 -threads 16 -level subspace -steps 4
 //	bhrun -n 8192 -threads 8 -level baseline -pernode 4 -pthreads
+//
+// With -stream the run executes through the steppable session engine
+// and emits one JSON snapshot per line on stdout (NDJSON) — the initial
+// state, then one every -snap-every steps — instead of the report:
+//
+//	bhrun -n 4096 -threads 8 -steps 8 -stream -snap-every 2
+//	bhrun -n 512 -steps 4 -stream -snap-bodies | jq .step
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"upcbh"
 )
+
+// usageErr reports a flag-validation failure and exits with the
+// conventional usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bhrun: %s\n", fmt.Sprintf(format, args...))
+	fmt.Fprintln(os.Stderr, "run 'bhrun -h' for usage")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -33,23 +54,59 @@ func main() {
 		pthreads = flag.Bool("pthreads", false, "use the threaded (-pthreads) runtime model")
 		noVec    = flag.Bool("novecreduce", false, "disable vector reductions (subspace level)")
 		energy   = flag.Bool("energy", false, "report energy before/after (O(n^2): use modest n)")
+
+		stream     = flag.Bool("stream", false, "steppable run: emit one JSON snapshot per line on stdout instead of the report")
+		snapEvery  = flag.Int("snap-every", 1, "with -stream: steps between snapshots")
+		snapBodies = flag.Bool("snap-bodies", false, "with -stream: include the full body state in each snapshot")
 	)
 	flag.Parse()
 
+	// Upfront validation: reject inconsistent invocations with a usage
+	// error before any simulation state is built.
+	if args := flag.Args(); len(args) > 0 {
+		usageErr("unexpected arguments: %v", args)
+	}
+	if *n < 2 {
+		usageErr("-n must be at least 2, got %d", *n)
+	}
+	if *threads < 1 {
+		usageErr("-threads must be positive, got %d", *threads)
+	}
+	if *steps <= 0 {
+		usageErr("-steps must be positive, got %d", *steps)
+	}
+	if *warmup < 0 {
+		usageErr("-warmup must be non-negative, got %d", *warmup)
+	}
+	if *warmup >= *steps {
+		usageErr("-warmup (%d) must be less than -steps (%d)", *warmup, *steps)
+	}
+	if !*stream {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "snap-every", "snap-bodies":
+				usageErr("-%s requires -stream", f.Name)
+			}
+		})
+	}
+	if *snapEvery <= 0 {
+		usageErr("-snap-every must be positive, got %d", *snapEvery)
+	}
+	if *stream && *energy {
+		usageErr("-energy cannot be combined with -stream (the snapshot stream owns stdout)")
+	}
+
 	level, err := upcbh.ParseLevel(*levelS)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageErr("%v", err)
 	}
 	mode, err := upcbh.ParseExecMode(*modeS)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageErr("%v", err)
 	}
 	scenario, err := upcbh.ParseScenario(*scenS)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageErr("%v", err)
 	}
 	opts := upcbh.DefaultOptions(*n, *threads, level)
 	opts.ExecMode = mode
@@ -60,30 +117,32 @@ func main() {
 	if m, err := upcbh.NewMachine(*threads, *perNode, *pthreads); err == nil {
 		opts.Machine = m
 	} else {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		usageErr("%v", err)
+	}
+
+	if *stream {
+		runStream(opts, *steps, *snapEvery, *snapBodies)
+		return
 	}
 
 	var e0kin, e0pot float64
 	if *energy {
 		ic, err := upcbh.GenerateScenario(scenario.Name(), *n, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		e0kin, e0pot = upcbh.Energy(ic, *eps)
 	}
 
 	sim, err := upcbh.New(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	res, err := sim.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
+	sim.Release()
 
 	timeKind := "simulated"
 	if mode == upcbh.ModeNative {
@@ -119,4 +178,44 @@ func main() {
 		fmt.Printf("\nenergy: initial %.6f (T=%.6f V=%.6f)  final %.6f  drift %.3g%%\n",
 			e0, e0kin, e0pot, e1, 100*(e1-e0)/-e0)
 	}
+}
+
+// runStream drives the simulation through the steppable session engine,
+// emitting one JSON snapshot per line: the initial state (step 0), then
+// one every `every` steps (the final interval truncated to the
+// schedule).
+func runStream(opts upcbh.Options, steps, every int, withBodies bool) {
+	sim, err := upcbh.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	emit := func() {
+		snap, err := sim.Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if !withBodies {
+			snap.Bodies = nil
+		}
+		if err := enc.Encode(snap); err != nil {
+			fatal(err)
+		}
+	}
+	emit()
+	for done := 0; done < steps; {
+		k := every
+		if rem := steps - done; k > rem {
+			k = rem
+		}
+		if err := sim.Step(k); err != nil {
+			fatal(err)
+		}
+		done += k
+		emit()
+	}
+	if _, err := sim.Finish(); err != nil {
+		fatal(err)
+	}
+	sim.Release()
 }

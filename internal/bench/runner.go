@@ -178,6 +178,92 @@ func (r *Runner) Run(opts core.Options) (res *core.Result, hit bool, err error) 
 	return e.res, false, e.err
 }
 
+// RunStepwise executes one configuration through the steppable session
+// engine, pausing every `every` steps (the last interval is truncated to
+// the schedule) to pass a Snapshot to observe. It always performs a live
+// execution — snapshots must be observed as the run unfolds, so a cached
+// Result cannot serve a stepwise request — but it respects the Runner's
+// pool discipline (native runs still take the pool exclusively) and it
+// feeds the memoization cache: on success the Result is stored under
+// Options.Key if no entry exists yet, so later Run calls hit; an entry
+// that already exists is left untouched. A non-nil error from observe
+// aborts the run after releasing the simulation.
+func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Snapshot) error) (*core.Result, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("bench: RunStepwise needs every > 0, got %d", every)
+	}
+	key := opts.Key()
+	r.mu.Lock()
+	r.stats.Runs++
+	if opts.ExecMode == core.ModeNative {
+		r.stats.NativeRuns++
+	}
+	r.mu.Unlock()
+
+	run := func() (*core.Result, error) {
+		sim, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		defer sim.Release()
+		for done := 0; done < opts.Steps; {
+			k := every
+			if rem := opts.Steps - done; k > rem {
+				k = rem
+			}
+			if err := sim.Step(k); err != nil {
+				return nil, err
+			}
+			done += k
+			snap, err := sim.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if observe != nil {
+				if err := observe(snap); err != nil {
+					return nil, fmt.Errorf("bench: stepped run aborted by observer at step %d: %w", done, err)
+				}
+			}
+		}
+		return sim.Finish()
+	}
+
+	var res *core.Result
+	var err error
+	if opts.ExecMode == core.ModeNative {
+		r.excl.Lock()
+		r.logf("stepped run (native, exclusive): %s", describe(opts))
+		res, err = run()
+		r.excl.Unlock()
+	} else {
+		r.excl.RLock()
+		r.sem <- struct{}{}
+		r.logf("stepped run: %s", describe(opts))
+		res, err = run()
+		<-r.sem
+		r.excl.RUnlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Feed the cache without disturbing existing entries. The cached copy
+	// follows the KeepBodies policy; the caller's Result keeps its bodies
+	// either way.
+	cached := *res
+	if !r.KeepBodies {
+		cached.Bodies = nil
+	}
+	r.mu.Lock()
+	if _, ok := r.cache[key]; !ok {
+		e := &cacheEntry{done: make(chan struct{}), res: &cached}
+		close(e.done)
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+	return res, nil
+}
+
 // RunAll executes a batch of independent configurations concurrently
 // (each bounded by the worker pool and deduplicated via the cache) and
 // returns the results in input order, with the per-config hit flags. The

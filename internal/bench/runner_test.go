@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -301,5 +302,125 @@ func TestRunnerKeepBodies(t *testing.T) {
 	}
 	if len(res.Bodies) != opts.Bodies {
 		t.Errorf("KeepBodies runner returned %d bodies, want %d", len(res.Bodies), opts.Bodies)
+	}
+}
+
+// stepwiseOpts is a configuration small enough for real (non-stubbed)
+// stepped executions in tests.
+func stepwiseOpts() core.Options {
+	opts := core.DefaultOptions(256, 2, core.LevelMergedBuild)
+	opts.Steps, opts.Warmup = 4, 1
+	return opts
+}
+
+// TestRunStepwiseMatchesRun: the stepped execution path must produce the
+// same Result as the plain cached path — under simulate, byte-identical —
+// while delivering one snapshot per interval, monotone in step index.
+func TestRunStepwiseMatchesRun(t *testing.T) {
+	opts := stepwiseOpts()
+	ref, _, err := NewRunner(2).Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw, _ := json.Marshal(ref)
+
+	r := NewRunner(2)
+	var steps []int
+	res, err := r.RunStepwise(opts, 3, func(s *core.Snapshot) error {
+		steps = append(steps, s.Step)
+		if len(s.Bodies) != opts.Bodies {
+			t.Errorf("snapshot at step %d carries %d bodies, want %d", s.Step, len(s.Bodies), opts.Bodies)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// every=3 over 4 steps: boundaries at 3 and 4 (truncated tail).
+	if len(steps) != 2 || steps[0] != 3 || steps[1] != 4 {
+		t.Fatalf("observed boundaries %v, want [3 4]", steps)
+	}
+	gotRaw, _ := json.Marshal(res)
+	if string(gotRaw) != string(refRaw) {
+		t.Fatalf("stepped result diverged from Run:\n%.300s\nvs\n%.300s", gotRaw, refRaw)
+	}
+}
+
+// TestRunStepwisePopulatesCache: a stepped run feeds the memoization
+// cache, so a later Run of the same configuration hits.
+func TestRunStepwisePopulatesCache(t *testing.T) {
+	r := NewRunner(2)
+	opts := stepwiseOpts()
+	res, err := r.RunStepwise(opts, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bodies == nil {
+		t.Error("stepped run dropped the caller's bodies; only the cached copy should")
+	}
+	cached, hit, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("Run after RunStepwise missed the cache")
+	}
+	if cached.Bodies != nil {
+		t.Error("cached result kept bodies despite KeepBodies=false")
+	}
+	s := r.Stats()
+	if s.Runs != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 run and 1 hit", s)
+	}
+}
+
+// TestRunStepwiseLeavesExistingEntry: a cache entry that predates the
+// stepped run is left untouched — later Runs keep returning it.
+func TestRunStepwiseLeavesExistingEntry(t *testing.T) {
+	r := NewRunner(2)
+	stubExec(r) // Run goes through the stub; RunStepwise executes for real
+	opts := stepwiseOpts()
+	orig, _, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunStepwise(opts, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	again, hit, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || again != orig {
+		t.Fatalf("stepped run disturbed the existing cache entry (hit=%v, same=%v)", hit, again == orig)
+	}
+}
+
+// TestRunStepwiseObserverAbort: an observer error aborts the run,
+// surfaces wrapped, and leaves the cache unpopulated for the key.
+func TestRunStepwiseObserverAbort(t *testing.T) {
+	r := NewRunner(2)
+	opts := stepwiseOpts()
+	sentinel := errors.New("enough")
+	_, err := r.RunStepwise(opts, 1, func(s *core.Snapshot) error {
+		if s.Step >= 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "enough") {
+		t.Fatalf("observer error not surfaced: %v", err)
+	}
+	stubExec(r)
+	if _, hit, err := r.Run(opts); err != nil || hit {
+		t.Fatalf("aborted stepped run left a cache entry (hit=%v, err=%v)", hit, err)
+	}
+}
+
+// TestRunStepwiseBadEvery: interval validation.
+func TestRunStepwiseBadEvery(t *testing.T) {
+	r := NewRunner(2)
+	if _, err := r.RunStepwise(stepwiseOpts(), 0, nil); err == nil {
+		t.Fatal("every=0 did not fail")
 	}
 }

@@ -28,12 +28,42 @@ type remoteScratch struct {
 	refs []upc.Ref
 }
 
+// simState is the lifecycle of a Sim (see the state machine in
+// DESIGN.md §11):
+//
+//	simNew ──start──▶ simPaused ──Finish/Run──▶ simFinished ──Release──▶ simReleased
+//
+// simNew: configured, no threads launched; SetBodies is still legal.
+// simPaused: a session is active and every thread is parked at a step
+// boundary; Step, Snapshot, Run, Finish and Release are legal.
+// simFinished: the threads have exited and the Result was collected;
+// Snapshot remains legal (body state is still in the heaps).
+// simReleased: heap storage recycled; only Release (a no-op) is legal.
+type simState int
+
+const (
+	simNew simState = iota
+	simPaused
+	simFinished
+	simReleased
+)
+
 // Sim is one configured Barnes-Hut simulation over the emulated UPC
-// runtime. Create with New, execute with Run.
+// runtime. Create with New, then either execute to completion with Run,
+// or drive it incrementally: Step(k) advances every thread k time-steps
+// and pauses at the step boundary, Snapshot copies out the state of the
+// paused simulation, Finish collects the Result, Release recycles the
+// heap storage. Run is itself implemented as Step(all)+Finish, so the
+// two styles are interchangeable — and byte-identical under the
+// simulate backend (see upc.Session on scheduling transparency).
 type Sim struct {
 	o   Options
 	rt  *upc.Runtime
 	par machine.Params
+
+	sess      *upc.Session
+	state     simState
+	stepsDone int
 
 	bodies *upc.Heap[nbody.Body]
 	cells  *upc.Heap[Cell]
@@ -57,6 +87,11 @@ type Sim struct {
 // area" of the UPC memory model).
 type tstate struct {
 	id int
+
+	// step is this thread's time-step counter, advanced once per
+	// granted session step. Threads never read each other's counters;
+	// at a session pause they all agree.
+	step int
 
 	// mybodytab: global refs of the bodies this thread currently owns.
 	myBodies []upc.Ref
@@ -180,9 +215,15 @@ func New(opts Options) (*Sim, error) {
 	return s, nil
 }
 
-// SetBodies replaces the generated initial conditions (must be called
-// before Run). Body IDs are rewritten to slice order.
+// SetBodies replaces the generated initial conditions. It must be
+// called before the session starts (before the first Run, Step or
+// Snapshot): setup copies the initial conditions into the shared heap,
+// so a later replacement would silently not take effect — panic
+// instead.
 func (s *Sim) SetBodies(bodies []nbody.Body) {
+	if s.state != simNew {
+		panic("core: SetBodies after the session has started (call it before Run/Step/Snapshot)")
+	}
 	if len(bodies) < 2 {
 		panic("core: SetBodies needs at least 2 bodies")
 	}
@@ -200,17 +241,99 @@ func (s *Sim) SetBodies(bodies []nbody.Body) {
 // Options returns the configuration of the simulation.
 func (s *Sim) Options() Options { return s.o }
 
-// Run executes the configured number of time-steps on all emulated
-// threads and returns the collected result.
+// start launches the SPMD session: every thread runs setup and parks at
+// its first step boundary. A setup-time thread panic propagates, as it
+// did under the old run-to-completion Run.
+func (s *Sim) start() {
+	s.sess = s.rt.Start(s.threadMain)
+	s.state = simPaused
+}
+
+// Run executes the remaining time-steps on all emulated threads and
+// returns the collected result. On a fresh Sim that is the configured
+// Options.Steps; on a partially-stepped Sim it completes the schedule.
+// Run is Step(remaining)+Finish, so mixing the two styles is safe.
 func (s *Sim) Run() (*Result, error) {
-	s.rt.Run(s.threadMain)
+	switch s.state {
+	case simFinished:
+		return nil, fmt.Errorf("core: Run on a finished Sim")
+	case simReleased:
+		return nil, fmt.Errorf("core: Run on a released Sim")
+	}
+	if remaining := s.o.Steps - s.stepsDone; remaining > 0 {
+		if err := s.Step(remaining); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish()
+}
+
+// Step advances the simulation k time-steps on every thread and pauses
+// at the step boundary, starting the session if needed. While paused
+// the runtime is quiescent: Snapshot (and any other read of simulation
+// state) is safe. k must be positive and may not take the simulation
+// past Options.Steps — the per-thread phase buffers are sized for
+// exactly that many. A thread panic (runtime poison) propagates as a
+// panic, exactly as under Run.
+func (s *Sim) Step(k int) error {
+	if k <= 0 {
+		return fmt.Errorf("core: Step needs k > 0, got %d", k)
+	}
+	switch s.state {
+	case simFinished:
+		return fmt.Errorf("core: Step on a finished Sim")
+	case simReleased:
+		return fmt.Errorf("core: Step on a released Sim")
+	}
+	if s.stepsDone+k > s.o.Steps {
+		return fmt.Errorf("core: Step(%d) would exceed the configured %d steps (%d already done)",
+			k, s.o.Steps, s.stepsDone)
+	}
+	if s.state == simNew {
+		s.start()
+	}
+	s.sess.Resume(k)
+	s.stepsDone += k
+	return nil
+}
+
+// StepsDone returns the number of time-steps completed so far.
+func (s *Sim) StepsDone() int { return s.stepsDone }
+
+// Finish ends the session — every thread falls out of its step loop and
+// exits — and collects the Result from however many steps have run
+// (finishing before Options.Steps is legal; the Result then covers the
+// measured steps completed so far). Finish does not release heap
+// storage: Snapshot stays legal until Release.
+func (s *Sim) Finish() (*Result, error) {
+	switch s.state {
+	case simNew:
+		s.start()
+	case simPaused:
+	case simFinished:
+		return nil, fmt.Errorf("core: Finish on a finished Sim")
+	case simReleased:
+		return nil, fmt.Errorf("core: Finish on a released Sim")
+	}
+	s.sess.Finish()
+	s.state = simFinished
 	return s.collect()
 }
 
 // Release returns the simulation's heap storage to the process-wide
 // recycling pools. Call it after the last use of the Sim; collected
-// Results are unaffected (they copy all body state out).
+// Results and Snapshots are unaffected (they copy all body state out).
+// Release is idempotent — a second call is a no-op, not a double return
+// of the same chunks to the pools — and it terminates a still-paused
+// session first, so a stepped Sim can be abandoned without Finish.
 func (s *Sim) Release() {
+	switch s.state {
+	case simReleased:
+		return
+	case simPaused:
+		s.sess.Finish()
+	}
+	s.state = simReleased
 	s.bodies.Release()
 	s.cells.Release()
 }
@@ -270,71 +393,84 @@ func (s *Sim) endPhaseRedist(t *upc.Thread, st *tstate, ph *PhaseTimes, t0 float
 	}
 }
 
+// threadMain is the SPMD session body: per-thread setup, then one
+// stepOnce per granted step. The NextStep gate sits between step k's
+// trailing bookkeeping (stats record, test hook) and step k+1's shared
+// tree reset — both thread-local, so parking there perturbs no
+// cross-thread coupling and the stepped schedule is the uninterrupted
+// one (see upc.Session).
 func (s *Sim) threadMain(t *upc.Thread) {
 	st := s.ts[t.ID()]
 	s.setup(t, st)
 	t.Barrier()
-	for step := 0; step < s.o.Steps; step++ {
-		measured := step >= s.o.Warmup
-		var ph PhaseTimes
+	for t.NextStep() {
+		s.stepOnce(t, st, st.step)
+		st.step++
+	}
+}
 
-		// Per-step reset of the shared tree storage.
-		s.cells.Reset(t)
-		st.myCells = st.myCells[:0]
-		st.stepParity = step & 1
-		t.Barrier()
+// stepOnce runs one full time-step on one thread: tree build,
+// partition, redistribution, force and advance, with per-phase timing.
+func (s *Sim) stepOnce(t *upc.Thread, st *tstate, step int) {
+	measured := step >= s.o.Warmup
+	var ph PhaseTimes
 
-		switch {
-		case s.o.Level >= LevelSubspace:
-			s.stepSubspace(t, st, &ph, measured)
-		case s.o.Level >= LevelMergedBuild:
-			t0, s0 := s.beginPhase(t)
-			s.buildMerged(t, st, measured)
-			s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
-			t0, s0 = s.beginPhase(t)
-			s.costzones(t, st)
-			s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
+	// Per-step reset of the shared tree storage.
+	s.cells.Reset(t)
+	st.myCells = st.myCells[:0]
+	st.stepParity = step & 1
+	t.Barrier()
+
+	switch {
+	case s.o.Level >= LevelSubspace:
+		s.stepSubspace(t, st, &ph, measured)
+	case s.o.Level >= LevelMergedBuild:
+		t0, s0 := s.beginPhase(t)
+		s.buildMerged(t, st, measured)
+		s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
+		t0, s0 = s.beginPhase(t)
+		s.costzones(t, st)
+		s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
+		t0, s0 = s.beginPhase(t)
+		s.redistribute(t, st, measured)
+		s.endPhaseRedist(t, st, &ph, t0, s0, measured)
+	default:
+		t0, s0 := s.beginPhase(t)
+		s.buildGlobal(t, st)
+		s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
+		t0, s0 = s.beginPhase(t)
+		s.cofmGlobal(t, st)
+		s.endPhase(t, st, &ph, PhaseCofM, t0, s0, measured)
+		t0, s0 = s.beginPhase(t)
+		s.costzones(t, st)
+		s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
+		if s.o.Level >= LevelRedistribute {
 			t0, s0 = s.beginPhase(t)
 			s.redistribute(t, st, measured)
 			s.endPhaseRedist(t, st, &ph, t0, s0, measured)
-		default:
-			t0, s0 := s.beginPhase(t)
-			s.buildGlobal(t, st)
-			s.endPhase(t, st, &ph, PhaseTree, t0, s0, measured)
-			t0, s0 = s.beginPhase(t)
-			s.cofmGlobal(t, st)
-			s.endPhase(t, st, &ph, PhaseCofM, t0, s0, measured)
-			t0, s0 = s.beginPhase(t)
-			s.costzones(t, st)
-			s.endPhase(t, st, &ph, PhasePartition, t0, s0, measured)
-			if s.o.Level >= LevelRedistribute {
-				t0, s0 = s.beginPhase(t)
-				s.redistribute(t, st, measured)
-				s.endPhaseRedist(t, st, &ph, t0, s0, measured)
-			}
 		}
+	}
 
-		if s.o.Verify {
-			if t.ID() == 0 {
-				s.verifyTree(t, st)
-			}
-			t.Barrier()
+	if s.o.Verify {
+		if t.ID() == 0 {
+			s.verifyTree(t, st)
 		}
+		t.Barrier()
+	}
 
-		t0, s0 := s.beginPhase(t)
-		s.force(t, st, measured)
-		s.endPhase(t, st, &ph, PhaseForce, t0, s0, measured)
-		t0, s0 = s.beginPhase(t)
-		s.advance(t, st)
-		s.endPhase(t, st, &ph, PhaseAdvance, t0, s0, measured)
+	t0, s0 := s.beginPhase(t)
+	s.force(t, st, measured)
+	s.endPhase(t, st, &ph, PhaseForce, t0, s0, measured)
+	t0, s0 = s.beginPhase(t)
+	s.advance(t, st)
+	s.endPhase(t, st, &ph, PhaseAdvance, t0, s0, measured)
 
-		if measured {
-			st.phases.Add(ph)
-			st.stepPh = append(st.stepPh, ph)
-		}
-		if s.o.testStepHook != nil {
-			s.o.testStepHook(t, step)
-		}
+	if measured {
+		st.phases.Add(ph)
+		st.stepPh = append(st.stepPh, ph)
+	}
+	if s.o.testStepHook != nil {
+		s.o.testStepHook(t, step)
 	}
 }
 
@@ -534,10 +670,15 @@ func (s *Sim) boundingBox(t *upc.Thread, st *tstate) rootGeom {
 	return g
 }
 
-// collect assembles the Result after the SPMD run.
+// collect assembles the Result after the SPMD run. nsteps is derived
+// from the steps actually executed, not Options.Steps: a session
+// finished early yields a Result over the measured steps it completed.
 func (s *Sim) collect() (*Result, error) {
 	p := s.rt.Threads()
-	nsteps := s.o.Steps - s.o.Warmup
+	nsteps := s.stepsDone - s.o.Warmup
+	if nsteps < 0 {
+		nsteps = 0
+	}
 	res := &Result{
 		Level:      s.o.Level,
 		Threads:    p,
@@ -581,20 +722,33 @@ func (s *Sim) collect() (*Result, error) {
 	res.Sched = s.rt.SchedStats()
 
 	// Final body state in ID order.
-	res.Bodies = make([]nbody.Body, 0, s.o.Bodies)
+	bodies, err := s.gatherBodies()
+	if err != nil {
+		return nil, err
+	}
+	res.Bodies = bodies
+	return res, nil
+}
+
+// gatherBodies copies the current body state out of the shared heaps in
+// ID order, validating that thread ownership covers every body exactly
+// once. Shared by collect and Snapshot; only safe while the runtime is
+// quiescent (session paused or finished).
+func (s *Sim) gatherBodies() ([]nbody.Body, error) {
+	out := make([]nbody.Body, 0, s.o.Bodies)
 	for _, st := range s.ts {
 		for _, br := range st.myBodies {
-			res.Bodies = append(res.Bodies, *s.bodies.Raw(br))
+			out = append(out, *s.bodies.Raw(br))
 		}
 	}
-	if len(res.Bodies) != s.o.Bodies {
-		return nil, fmt.Errorf("core: ownership covers %d bodies, want %d", len(res.Bodies), s.o.Bodies)
+	if len(out) != s.o.Bodies {
+		return nil, fmt.Errorf("core: ownership covers %d bodies, want %d", len(out), s.o.Bodies)
 	}
-	sort.Slice(res.Bodies, func(i, j int) bool { return res.Bodies[i].ID < res.Bodies[j].ID })
-	for i := 1; i < len(res.Bodies); i++ {
-		if res.Bodies[i].ID == res.Bodies[i-1].ID {
-			return nil, fmt.Errorf("core: body %d owned by two threads", res.Bodies[i].ID)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	for i := 1; i < len(out); i++ {
+		if out[i].ID == out[i-1].ID {
+			return nil, fmt.Errorf("core: body %d owned by two threads", out[i].ID)
 		}
 	}
-	return res, nil
+	return out, nil
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"upcbh/internal/nbody"
+)
+
+// Snapshot is a zero-surprise copy of the observable simulation state
+// at a step boundary: body state, per-thread clocks, and the phase
+// tables accumulated over the measured steps so far. Everything is
+// copied out — a Snapshot stays valid after further Steps, Finish, and
+// Release, and marshals cleanly to JSON (bhrun -stream emits exactly
+// this type, one object per line).
+type Snapshot struct {
+	// Step is the number of completed time-steps (0 for a snapshot
+	// taken before the first Step); Steps is the configured total.
+	Step  int `json:"step"`
+	Steps int `json:"steps"`
+
+	// Warmup steps precede the measured window; StepPhases covers only
+	// steps >= Warmup.
+	Warmup int `json:"warmup"`
+
+	Level    Level    `json:"level"`
+	ExecMode ExecMode `json:"exec_mode"`
+	Threads  int      `json:"threads"`
+	Scenario string   `json:"scenario"`
+
+	// Time is the simulated physical time, Step * Options.Dt.
+	Time float64 `json:"time"`
+
+	// Clocks[i] is thread i's clock at the pause: the charged virtual
+	// time under ModeSimulate, wall-clock seconds since the runtime
+	// epoch under ModeNative.
+	Clocks []float64 `json:"clocks"`
+
+	// Phases and StepPhases mirror Result: per-step maxima across
+	// threads over the measured steps completed so far, and their sum.
+	Phases     PhaseTimes   `json:"phases"`
+	StepPhases []PhaseTimes `json:"step_phases"`
+
+	// Interactions counts body-body and body-cell force interactions
+	// across all threads (measured steps only).
+	Interactions uint64 `json:"interactions"`
+
+	// Bodies is the full body state in ID order. Omitted from the JSON
+	// stream unless requested (bhrun -snap-bodies): at realistic body
+	// counts it dominates the snapshot size.
+	Bodies []nbody.Body `json:"bodies,omitempty"`
+}
+
+// Snapshot copies out the simulation state at the current step
+// boundary. On a fresh Sim it starts the session (threads run setup and
+// park before step 0), so a step-0 snapshot observes the initial
+// conditions as distributed. It is legal while the session is paused
+// and after Finish; it is an error after Release, when the body storage
+// has been recycled. Taking a snapshot never perturbs the simulation:
+// the runtime is quiescent at a pause, and every read here is a copy.
+func (s *Sim) Snapshot() (*Snapshot, error) {
+	switch s.state {
+	case simNew:
+		s.start()
+	case simPaused, simFinished:
+	case simReleased:
+		return nil, fmt.Errorf("core: Snapshot on a released Sim")
+	}
+	p := s.rt.Threads()
+	snap := &Snapshot{
+		Step:     s.stepsDone,
+		Steps:    s.o.Steps,
+		Warmup:   s.o.Warmup,
+		Level:    s.o.Level,
+		ExecMode: s.o.ExecMode,
+		Threads:  p,
+		Scenario: s.o.Scenario,
+		Time:     float64(s.stepsDone) * s.o.Dt,
+		Clocks:   make([]float64, p),
+	}
+	for i := 0; i < p; i++ {
+		snap.Clocks[i] = s.rt.ThreadNow(i)
+	}
+	measured := s.stepsDone - s.o.Warmup
+	if measured < 0 {
+		measured = 0
+	}
+	snap.StepPhases = make([]PhaseTimes, measured)
+	for i, st := range s.ts {
+		if len(st.stepPh) != measured {
+			return nil, fmt.Errorf("core: thread %d recorded %d measured steps at the pause, want %d",
+				i, len(st.stepPh), measured)
+		}
+		for k, ph := range st.stepPh {
+			snap.StepPhases[k].MaxInto(ph)
+		}
+		snap.Interactions += st.inter
+	}
+	for _, ph := range snap.StepPhases {
+		snap.Phases.Add(ph)
+	}
+	bodies, err := s.gatherBodies()
+	if err != nil {
+		return nil, err
+	}
+	snap.Bodies = bodies
+	return snap, nil
+}

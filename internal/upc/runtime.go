@@ -71,6 +71,11 @@ type Runtime struct {
 	poisoned atomic.Pointer[string]
 	poisonCh chan struct{}
 
+	// session is the active resumable SPMD region, if any (session.go).
+	// Written by the controller while no thread goroutine is running
+	// (before launch, after the last exit), read by threads and poison.
+	session *Session
+
 	threads []*Thread
 }
 
@@ -133,12 +138,29 @@ func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
 // scheduler (sched.go): one at a time, in deterministic lowest-clock
 // order. In ModeNative they run as freely scheduled parallel goroutines.
 func (rt *Runtime) Run(fn func(t *Thread)) {
+	if rt.session != nil {
+		panic("upc: Run while a session is active on this runtime")
+	}
 	var wg sync.WaitGroup
 	panics := make(chan string, rt.n)
 	body := fn
 	if rt.coop != nil {
 		body = rt.coop.gatedBody(fn)
 	}
+	rt.launch(body, &wg, panics)
+	if rt.coop != nil {
+		rt.coop.start()
+	}
+	wg.Wait()
+	if primary := primaryPanic(panics); primary != "" {
+		panic(primary)
+	}
+}
+
+// launch starts one goroutine per thread running body with the standard
+// poison-on-panic wrapper; panic messages land on the panics channel.
+// Shared by Run and Session.Start.
+func (rt *Runtime) launch(body func(t *Thread), wg *sync.WaitGroup, panics chan string) {
 	for i := 0; i < rt.n; i++ {
 		wg.Add(1)
 		go func(t *Thread) {
@@ -156,21 +178,24 @@ func (rt *Runtime) Run(fn func(t *Thread)) {
 			body(t)
 		}(rt.threads[i])
 	}
-	if rt.coop != nil {
-		rt.coop.start()
-	}
-	wg.Wait()
-	close(panics)
+}
+
+// primaryPanic drains the collected panic messages, preferring the
+// original failure over secondary peer-abort markers. Returns "" when
+// no thread panicked.
+func primaryPanic(panics chan string) string {
 	primary := ""
-	for msg := range panics {
-		if msg != poisonSecondary && (primary == "" || primary == poisonSecondary) {
-			primary = msg
-		} else if primary == "" {
-			primary = msg
+	for {
+		select {
+		case msg := <-panics:
+			if msg != poisonSecondary && (primary == "" || primary == poisonSecondary) {
+				primary = msg
+			} else if primary == "" {
+				primary = msg
+			}
+		default:
+			return primary
 		}
-	}
-	if primary != "" {
-		panic(primary)
 	}
 }
 
@@ -200,6 +225,14 @@ func (rt *Runtime) poison(msg string) {
 	rt.coll.mu.Lock()
 	rt.coll.cond.Broadcast()
 	rt.coll.mu.Unlock()
+	if sess := rt.session; sess != nil {
+		// Native session: wake gate-parked threads (they abort) and the
+		// controller (it re-raises via fail).
+		sess.mu.Lock()
+		sess.stepC.Broadcast()
+		sess.ctrlC.Broadcast()
+		sess.mu.Unlock()
+	}
 }
 
 // checkPoison panics with a secondary abort if a peer has failed.

@@ -76,6 +76,14 @@ type sched struct {
 	collResult   any
 	collResolved float64
 
+	// Session step gate (session.go): the active session, the number of
+	// threads parked at the gate this pause, and the first arriver — the
+	// thread that held the baton when the pause began, which gets it
+	// back on resume so the pause is invisible to the schedule.
+	sess      *Session
+	stepCount int
+	stepFirst int32
+
 	nDone int
 
 	stats SchedStats
@@ -91,6 +99,7 @@ const (
 	sColl                       // parked in a collective until the epoch resolves
 	sLock                       // parked waiting for a Lock holder to release
 	sWaiting                    // parked on a BlockOn predicate
+	sStep                       // parked at the session step gate
 	sDone                       // returned from the SPMD function
 )
 
@@ -108,6 +117,8 @@ func (st schedState) String() string {
 		return "lock"
 	case sWaiting:
 		return "waiting"
+	case sStep:
+		return "step-gate"
 	case sDone:
 		return "done"
 	}
@@ -227,6 +238,16 @@ func (s *sched) popNext() int {
 func (s *sched) handoff(next int) {
 	s.state[next] = sRunning
 	s.stats.Handoffs++
+	s.gates[next] <- struct{}{}
+}
+
+// handoffGate is handoff without the Handoffs count. The session step
+// gate uses it exclusively: gate parks and resumes are an artifact of
+// the observer pausing the run, not of the simulated program's
+// schedule, so a stepped run must report byte-identical SchedStats to
+// an uninterrupted one.
+func (s *sched) handoffGate(next int) {
+	s.state[next] = sRunning
 	s.gates[next] <- struct{}{}
 }
 
@@ -433,6 +454,56 @@ func (t *Thread) BlockOn(ready func() bool) {
 	t.rt.checkPoison()
 }
 
+// stepPark parks the calling thread at the session step gate. When the
+// last live thread parks, the pause is complete and control passes to
+// the session controller instead of another emulated thread — the
+// single-runner invariant extends to the controller, which runs only
+// while every thread is parked. Parking charges nothing and aligns no
+// clocks: the gate must be invisible to the simulated-time model.
+func (s *sched) stepPark(t *Thread) {
+	me := t.id
+	if s.stepCount == 0 {
+		s.stepFirst = int32(me)
+	}
+	s.stepCount++
+	s.state[me] = sStep
+	if s.stepCount == s.n-s.nDone {
+		// Every live thread is at the gate: hand control to the
+		// controller (buffered send — it may not be waiting yet).
+		s.sess.pauseCh <- struct{}{}
+	} else {
+		next := s.popNext()
+		if next < 0 {
+			// Peers are blocked on events only gate-parked threads could
+			// produce (a barrier this thread abandoned, etc.) — the SPMD
+			// discipline is broken.
+			msg := s.deadlockMsg(me)
+			s.rt.poison(msg)
+			panic(msg)
+		}
+		s.handoffGate(next)
+	}
+	<-s.gates[me]
+	s.rt.checkPoison()
+}
+
+// stepResume releases a completed pause: every gate-parked thread except
+// the first arriver re-enters the run queue, and the baton goes back to
+// the first arriver — the thread that was running when the pause began —
+// so the continuation is scheduled exactly as if the gate did not exist.
+// Called by the session controller while every thread is parked.
+func (s *sched) stepResume() {
+	first := s.stepFirst
+	s.stepCount, s.stepFirst = 0, -1
+	for i, st := range s.state {
+		if st == sStep && int32(i) != first {
+			s.state[i] = sRunnable
+			s.heapPush(int32(i))
+		}
+	}
+	s.handoffGate(int(first))
+}
+
 // exit retires the calling thread at the end of the SPMD function and
 // passes the baton on. After a poison every thread is already awake and
 // unwinding, so no baton discipline remains.
@@ -443,6 +514,15 @@ func (s *sched) exit(me int) {
 	s.state[me] = sDone
 	s.nDone++
 	if s.nDone == s.n {
+		if s.sess != nil {
+			// Session region: the last thread exited, so no pause will
+			// ever signal again — return control to the controller (it
+			// may be waiting in Start/Resume if fn never hit the gate).
+			select {
+			case s.sess.pauseCh <- struct{}{}:
+			default:
+			}
+		}
 		return
 	}
 	next := s.popNext()
@@ -470,6 +550,7 @@ func (s *sched) gatedBody(fn func(t *Thread)) func(t *Thread) {
 		s.heapPush(int32(i))
 	}
 	s.nDone = 0
+	s.stepCount, s.stepFirst = 0, -1
 	return func(t *Thread) {
 		<-s.gates[t.id]
 		if s.rt.poisoned.Load() != nil {

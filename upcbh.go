@@ -44,8 +44,23 @@ type (
 	// Result is the outcome of a run: per-phase simulated times,
 	// per-thread breakdowns, operation statistics, and final body state.
 	Result = core.Result
-	// Sim is a configured simulation.
+	// Sim is a configured simulation. Besides run-to-completion (Run),
+	// it supports a steppable session lifecycle: Step(k) advances k
+	// time-steps and pauses, Snapshot copies out the paused state,
+	// Finish collects the Result, Release recycles storage:
+	//
+	//	sim, _ := upcbh.New(opts)
+	//	for done := 0; done < opts.Steps; done++ {
+	//		_ = sim.Step(1)
+	//		snap, _ := sim.Snapshot() // bodies, clocks, phase tables
+	//		_ = snap
+	//	}
+	//	res, _ := sim.Finish()
+	//	sim.Release()
 	Sim = core.Sim
+	// Snapshot is the observable state of a paused simulation at a step
+	// boundary (see Sim.Snapshot); bhrun -stream emits one per line.
+	Snapshot = core.Snapshot
 	// Level is a cumulative optimization level from the paper.
 	Level = core.Level
 	// ExecMode selects the execution backend: cost-modelled simulation
