@@ -17,9 +17,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"upcbh"
 )
@@ -121,7 +125,21 @@ func main() {
 	}
 
 	if *stream {
-		runStream(opts, *steps, *snapEvery, *snapBodies)
+		// A downstream close (`bhrun -stream | head -1`) surfaces as EPIPE
+		// from the snapshot encoder: that is the consumer saying "enough",
+		// not a failure — tear the session down and exit 0. SIGINT/SIGTERM
+		// get the same clean teardown: runStream checks the signal channel
+		// between steps, finishes the session, and returns nil.
+		// The Go runtime re-raises SIGPIPE (killing the process with no
+		// teardown) when a write to stdout gets EPIPE; ignore it so the
+		// encoder surfaces the EPIPE as an error we can classify instead.
+		signal.Ignore(syscall.SIGPIPE)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		if err := runStream(os.Stdout, opts, *steps, *snapEvery, *snapBodies, sig); err != nil && !downstreamClosed(err) {
+			fatal(err)
+		}
 		return
 	}
 
@@ -180,42 +198,63 @@ func main() {
 	}
 }
 
+// downstreamClosed reports whether a stream write failed because the
+// consumer went away (closed pipe / closed file): the conventional clean
+// end of an NDJSON pipeline, not an error.
+func downstreamClosed(err error) bool {
+	return errors.Is(err, syscall.EPIPE) || errors.Is(err, os.ErrClosed)
+}
+
 // runStream drives the simulation through the steppable session engine,
-// emitting one JSON snapshot per line: the initial state (step 0), then
-// one every `every` steps (the final interval truncated to the
-// schedule).
-func runStream(opts upcbh.Options, steps, every int, withBodies bool) {
+// emitting one JSON snapshot per line on w: the initial state (step 0),
+// then one every `every` steps (the final interval truncated to the
+// schedule). It returns errors instead of exiting, and it always tears
+// the session down before returning — on success via Finish, on any
+// early exit (write error, observer gone, signal) via the deferred
+// Release, which finishes a still-paused session before recycling its
+// storage. A signal on sig ends the stream cleanly (nil error) at the
+// next step boundary.
+func runStream(w io.Writer, opts upcbh.Options, steps, every int, withBodies bool, sig <-chan os.Signal) error {
 	sim, err := upcbh.New(opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	emit := func() {
+	defer sim.Release()
+	enc := json.NewEncoder(w)
+	emit := func() error {
 		snap, err := sim.Snapshot()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if !withBodies {
 			snap.Bodies = nil
 		}
-		if err := enc.Encode(snap); err != nil {
-			fatal(err)
-		}
+		return enc.Encode(snap)
 	}
-	emit()
+	if err := emit(); err != nil {
+		return err
+	}
+loop:
 	for done := 0; done < steps; {
+		select {
+		case <-sig:
+			break loop
+		default:
+		}
 		k := every
 		if rem := steps - done; k > rem {
 			k = rem
 		}
 		if err := sim.Step(k); err != nil {
-			fatal(err)
+			return err
 		}
 		done += k
-		emit()
+		if err := emit(); err != nil {
+			return err
+		}
 	}
 	if _, err := sim.Finish(); err != nil {
-		fatal(err)
+		return err
 	}
-	sim.Release()
+	return nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+
+	"upcbh"
+)
+
+func streamOpts(t *testing.T) upcbh.Options {
+	t.Helper()
+	opts := upcbh.DefaultOptions(256, 2, upcbh.LevelMergedBuild)
+	opts.Steps, opts.Warmup = 4, 1
+	return opts
+}
+
+// TestRunStreamEmitsMonotoneSnapshots: the happy path — step 0 first,
+// strictly increasing step indices, ending at -steps.
+func TestRunStreamEmitsMonotoneSnapshots(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStream(&buf, streamOpts(t), 4, 2, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	var steps []int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var snap upcbh.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		steps = append(steps, snap.Step)
+	}
+	want := []int{0, 2, 4}
+	if len(steps) != len(want) {
+		t.Fatalf("emitted steps %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("emitted steps %v, want %v", steps, want)
+		}
+	}
+}
+
+// brokenPipe fails every write after the first n with EPIPE, emulating
+// `bhrun -stream | head -1` where the downstream consumer has exited.
+type brokenPipe struct {
+	writes int
+	limit  int
+}
+
+func (b *brokenPipe) Write(p []byte) (int, error) {
+	b.writes++
+	if b.writes > b.limit {
+		return 0, &os.PathError{Op: "write", Path: "|1", Err: syscall.EPIPE}
+	}
+	return len(p), nil
+}
+
+// TestRunStreamEPIPEIsClean: a downstream close mid-stream must surface
+// as an error runStream classifies as clean (downstreamClosed), with the
+// session torn down — the regression was fatal()-ing with exit 1 and no
+// Finish/Release.
+func TestRunStreamEPIPEIsClean(t *testing.T) {
+	w := &brokenPipe{limit: 1}
+	err := runStream(w, streamOpts(t), 4, 1, false, nil)
+	if err == nil {
+		t.Fatal("broken pipe surfaced no error to classify")
+	}
+	if !downstreamClosed(err) {
+		t.Fatalf("EPIPE not classified as a clean downstream close: %v", err)
+	}
+	if !strings.Contains(err.Error(), "broken pipe") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRunStreamSignalStopsCleanly: a pending SIGINT/SIGTERM ends the
+// stream at the next step boundary with a finished, released session and
+// a nil error (exit 0).
+func TestRunStreamSignalStopsCleanly(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	sig <- os.Interrupt // already pending: the loop must stop before stepping further
+	var buf bytes.Buffer
+	if err := runStream(&buf, streamOpts(t), 4, 1, false, sig); err != nil {
+		t.Fatalf("signalled stream did not stop cleanly: %v", err)
+	}
+	// Only the step-0 snapshot made it out before the signal was seen.
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1 {
+		t.Fatalf("signalled stream emitted %d snapshots, want 1 (step 0)", lines)
+	}
+	var snap upcbh.Snapshot
+	if err := json.Unmarshal([]byte(strings.SplitN(buf.String(), "\n", 2)[0]), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != 0 {
+		t.Fatalf("first snapshot at step %d, want 0", snap.Step)
+	}
+}

@@ -1,0 +1,94 @@
+// Command bhserve is the multi-tenant simulation service: a daemon
+// exposing the steppable session lifecycle over HTTP. Sessions are
+// hashed onto a fixed set of worker shards with bounded queues
+// (backpressure is explicit: 429 with Retry-After when a shard is full,
+// 503 while draining), snapshot streams fan out from one stepper per
+// session to any number of NDJSON subscribers, and completed runs land
+// in a shared content-addressed cache so an identical later create is
+// answered without re-simulating.
+//
+//	bhserve -addr :8080 -shards 4 -queue 64
+//
+//	curl -s localhost:8080/sims -d '{"options":{"bodies":2048,"steps":8}}'
+//	curl -s -X POST localhost:8080/sims/s-1/step?k=2
+//	curl -sN localhost:8080/sims/s-1/stream | jq .step
+//	curl -s localhost:8080/stats | jq .runner
+//
+// SIGINT/SIGTERM drain gracefully: admissions stop, in-flight steps
+// finish, every session is finished and released, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"upcbh/internal/bench"
+	"upcbh/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		shards  = flag.Int("shards", 0, "worker shards (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "per-shard request queue depth (0 = 64)")
+		subbuf  = flag.Int("subbuf", 0, "per-subscriber snapshot buffer (0 = 8)")
+		every   = flag.Int("every", 0, "default steps between streamed snapshots (0 = 1)")
+		workers = flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+	if args := flag.Args(); len(args) > 0 {
+		fmt.Fprintf(os.Stderr, "bhserve: unexpected arguments: %v\n", args)
+		os.Exit(2)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	runner := bench.NewRunner(*workers)
+	runner.Progress = func(format string, args ...any) { logf("runner: "+format, args...) }
+
+	srv := serve.New(serve.Config{
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		SubBuffer:   *subbuf,
+		StreamEvery: *every,
+		Runner:      runner,
+		Logf:        logf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logf("bhserve: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logf("bhserve: %v: draining", got)
+		// Order matters: drain the service first — finishing sessions
+		// closes their hubs, which ends the open stream responses — then
+		// shut the HTTP listener down.
+		srv.Shutdown()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logf("bhserve: http shutdown: %v", err)
+		}
+		logf("bhserve: drained, exiting")
+	case err := <-errCh:
+		log.Fatalf("bhserve: %v", err)
+	}
+}

@@ -60,6 +60,7 @@ type RunnerStats struct {
 	Runs       int `json:"runs"`        // unique configurations executed
 	Hits       int `json:"cache_hits"`  // requests served from the cache (incl. coalesced in-flight)
 	NativeRuns int `json:"native_runs"` // subset of Runs executed exclusively in ModeNative
+	Evictions  int `json:"evictions"`   // error results evicted so the key can re-execute
 }
 
 // Requests returns the total number of Run calls the stats describe.
@@ -137,7 +138,10 @@ func describe(opts core.Options) string {
 // Run executes one configuration, deduplicating against every
 // configuration this Runner has already seen. The returned hit flag
 // reports whether the result came from the cache (including coalescing
-// onto a concurrently in-flight execution of the same key).
+// onto a concurrently in-flight execution of the same key). Only
+// successes are memoized: a failed execution propagates its error to
+// every request coalesced onto it, then leaves the cache, so the next
+// request for the key executes afresh.
 func (r *Runner) Run(opts core.Options) (res *core.Result, hit bool, err error) {
 	key := opts.Key()
 	r.mu.Lock()
@@ -175,16 +179,82 @@ func (r *Runner) Run(opts core.Options) (res *core.Result, hit bool, err error) 
 		e.res.Bodies = nil
 	}
 	close(e.done)
+	if e.err != nil {
+		// Do not memoize failures: a transient error (a native run hitting
+		// a resource limit, say) would otherwise be replayed to every
+		// later request for the key, forever. Evict after close(done) so
+		// waiters already coalesced onto this entry still observe the
+		// error; the next request for the key re-executes.
+		r.mu.Lock()
+		if cur, ok := r.cache[key]; ok && cur == e {
+			delete(r.cache, key)
+			r.stats.Evictions++
+		}
+		r.mu.Unlock()
+	}
 	return e.res, false, e.err
 }
 
+// Lookup peeks at the memoization cache: it returns the completed,
+// successful Result stored under opts' key, or reports a miss. It never
+// blocks — an in-flight execution is a miss, not something to wait on —
+// and never triggers an execution. A successful peek counts as a cache
+// hit in the stats. The returned Result is shared: treat it as read-only.
+func (r *Runner) Lookup(opts core.Options) (*core.Result, bool) {
+	key := opts.Key()
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false // still executing
+	}
+	if e.err != nil || e.res == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	r.stats.Hits++
+	r.mu.Unlock()
+	return e.res, true
+}
+
+// Memoize stores an externally produced Result under opts' key, so later
+// Run/Lookup calls for the configuration hit without executing. Sessions
+// driven outside the Runner (the bhserve service steps its own Sims) use
+// it to land their completed runs in the shared cache. An entry that
+// already exists — completed or in flight — is left untouched, mirroring
+// RunStepwise's feed semantics; the stored copy follows the KeepBodies
+// policy. Reports whether the result was stored.
+func (r *Runner) Memoize(opts core.Options, res *core.Result) bool {
+	cached := *res
+	if !r.KeepBodies {
+		cached.Bodies = nil
+	}
+	key := opts.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.cache[key]; ok {
+		return false
+	}
+	e := &cacheEntry{done: make(chan struct{}), res: &cached}
+	close(e.done)
+	r.cache[key] = e
+	return true
+}
+
 // RunStepwise executes one configuration through the steppable session
-// engine, pausing every `every` steps (the last interval is truncated to
-// the schedule) to pass a Snapshot to observe. It always performs a live
-// execution — snapshots must be observed as the run unfolds, so a cached
-// Result cannot serve a stepwise request — but it respects the Runner's
-// pool discipline (native runs still take the pool exclusively) and it
-// feeds the memoization cache: on success the Result is stored under
+// engine: the observer first receives the step-0 Snapshot (the initial
+// conditions as distributed — the same stream contract bhrun -stream
+// honours), then one Snapshot every `every` steps (the last interval is
+// truncated to the schedule). It always performs a live execution —
+// snapshots must be observed as the run unfolds, so a cached Result
+// cannot serve a stepwise request — but it respects the Runner's pool
+// discipline (native runs still take the pool exclusively) and it feeds
+// the memoization cache: on success the Result is stored under
 // Options.Key if no entry exists yet, so later Run calls hit; an entry
 // that already exists is left untouched. A non-nil error from observe
 // aborts the run after releasing the simulation.
@@ -192,7 +262,6 @@ func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Sn
 	if every <= 0 {
 		return nil, fmt.Errorf("bench: RunStepwise needs every > 0, got %d", every)
 	}
-	key := opts.Key()
 	r.mu.Lock()
 	r.stats.Runs++
 	if opts.ExecMode == core.ModeNative {
@@ -206,6 +275,18 @@ func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Sn
 			return nil, err
 		}
 		defer sim.Release()
+		if observe != nil {
+			// Step-0 snapshot first: the observer sees the distributed
+			// initial conditions before any stepping, exactly as a
+			// bhrun -stream consumer does.
+			snap, err := sim.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			if err := observe(snap); err != nil {
+				return nil, fmt.Errorf("bench: stepped run aborted by observer at step 0: %w", err)
+			}
+		}
 		for done := 0; done < opts.Steps; {
 			k := every
 			if rem := opts.Steps - done; k > rem {
@@ -215,11 +296,11 @@ func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Sn
 				return nil, err
 			}
 			done += k
-			snap, err := sim.Snapshot()
-			if err != nil {
-				return nil, err
-			}
 			if observe != nil {
+				snap, err := sim.Snapshot()
+				if err != nil {
+					return nil, err
+				}
 				if err := observe(snap); err != nil {
 					return nil, fmt.Errorf("bench: stepped run aborted by observer at step %d: %w", done, err)
 				}
@@ -250,17 +331,7 @@ func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Sn
 	// Feed the cache without disturbing existing entries. The cached copy
 	// follows the KeepBodies policy; the caller's Result keeps its bodies
 	// either way.
-	cached := *res
-	if !r.KeepBodies {
-		cached.Bodies = nil
-	}
-	r.mu.Lock()
-	if _, ok := r.cache[key]; !ok {
-		e := &cacheEntry{done: make(chan struct{}), res: &cached}
-		close(e.done)
-		r.cache[key] = e
-	}
-	r.mu.Unlock()
+	r.Memoize(opts, res)
 	return res, nil
 }
 

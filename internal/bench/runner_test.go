@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -336,9 +337,10 @@ func TestRunStepwiseMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// every=3 over 4 steps: boundaries at 3 and 4 (truncated tail).
-	if len(steps) != 2 || steps[0] != 3 || steps[1] != 4 {
-		t.Fatalf("observed boundaries %v, want [3 4]", steps)
+	// Step-0 snapshot first, then every=3 over 4 steps: boundaries at 3
+	// and 4 (truncated tail).
+	if len(steps) != 3 || steps[0] != 0 || steps[1] != 3 || steps[2] != 4 {
+		t.Fatalf("observed boundaries %v, want [0 3 4]", steps)
 	}
 	gotRaw, _ := json.Marshal(res)
 	if string(gotRaw) != string(refRaw) {
@@ -423,4 +425,241 @@ func TestRunStepwiseBadEvery(t *testing.T) {
 	if _, err := r.RunStepwise(stepwiseOpts(), 0, nil); err == nil {
 		t.Fatal("every=0 did not fail")
 	}
+}
+
+// TestRunStepwiseInitialSnapshot pins the stream contract both stepped
+// entry points share: the observer's first snapshot is step 0 (the
+// distributed initial conditions), before any stepping.
+func TestRunStepwiseInitialSnapshot(t *testing.T) {
+	r := NewRunner(2)
+	opts := stepwiseOpts()
+	var first *core.Snapshot
+	_, err := r.RunStepwise(opts, 2, func(s *core.Snapshot) error {
+		if first == nil {
+			first = s
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == nil {
+		t.Fatal("observer never called")
+	}
+	if first.Step != 0 {
+		t.Fatalf("first observed snapshot at step %d, want 0", first.Step)
+	}
+	if len(first.Bodies) != opts.Bodies {
+		t.Fatalf("step-0 snapshot carries %d bodies, want %d", len(first.Bodies), opts.Bodies)
+	}
+	if first.Time != 0 {
+		t.Fatalf("step-0 snapshot at simulated time %v, want 0", first.Time)
+	}
+}
+
+// TestRunnerEvictsErrorEntry: the cache-poisoning regression. A config
+// whose execution fails transiently must not have the failure memoized —
+// the next request for the same key re-executes and can succeed.
+func TestRunnerEvictsErrorEntry(t *testing.T) {
+	r := NewRunner(2)
+	var execs atomic.Int64
+	r.exec = func(o core.Options) (*core.Result, error) {
+		if execs.Add(1) == 1 {
+			return nil, errors.New("transient native failure")
+		}
+		return &core.Result{Level: o.Level, Threads: o.Machine.Threads}, nil
+	}
+	opts := core.DefaultOptions(512, 2, core.LevelAsync)
+
+	if _, _, err := r.Run(opts); err == nil {
+		t.Fatal("first run should have failed")
+	}
+	res, hit, err := r.Run(opts)
+	if err != nil {
+		t.Fatalf("retry after transient failure still errors: %v", err)
+	}
+	if hit {
+		t.Fatal("retry was served from the cache — the error entry was not evicted")
+	}
+	if res == nil {
+		t.Fatal("retry returned no result")
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("executed %d times, want 2 (fail, then retry)", got)
+	}
+	// And success memoization is intact: a third request hits.
+	if _, hit, err := r.Run(opts); err != nil || !hit {
+		t.Fatalf("third request: hit=%v err=%v, want a cache hit", hit, err)
+	}
+	s := r.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Evictions)
+	}
+	if s.Runs != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 runs / 1 hit", s)
+	}
+}
+
+// TestRunnerErrorCoalescedWaiters: requests coalesced onto an in-flight
+// execution that fails must all observe the failure (the entry is only
+// evicted after done closes); requests arriving after the eviction
+// re-execute.
+func TestRunnerErrorCoalescedWaiters(t *testing.T) {
+	r := NewRunner(8)
+	var execs atomic.Int64
+	release := make(chan struct{})
+	r.exec = func(o core.Options) (*core.Result, error) {
+		if execs.Add(1) == 1 {
+			<-release // hold the failing run in flight while waiters pile up
+			return nil, errors.New("boom")
+		}
+		return &core.Result{Level: o.Level}, nil
+	}
+	opts := core.DefaultOptions(1024, 2, core.LevelAsync)
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, _, err := r.Run(opts)
+			errs <- err
+		}()
+	}
+	// Wait until every request has either started the execution or
+	// coalesced onto it, then let the failure land.
+	for r.Stats().Hits < waiters-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < waiters; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("a coalesced waiter missed the in-flight error")
+		}
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions while failing, want 1", got)
+	}
+	// The failure must not have stuck: the key re-executes and succeeds.
+	if _, hit, err := r.Run(opts); err != nil || hit {
+		t.Fatalf("post-eviction request: hit=%v err=%v, want a fresh successful run", hit, err)
+	}
+}
+
+// TestRunnerConcurrentRunAndStepwise races Run against RunStepwise on
+// the same key: whatever interleaving wins, the cache must end with
+// exactly one coherent (successful, completed) entry and every request
+// must return an equivalent Result.
+func TestRunnerConcurrentRunAndStepwise(t *testing.T) {
+	opts := stepwiseOpts()
+	ref, _, err := NewRunner(2).Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw, _ := json.Marshal(ref)
+
+	r := NewRunner(4)
+	const each = 4
+	var wg sync.WaitGroup
+	results := make([]*core.Result, 2*each)
+	errs := make([]error, 2*each)
+	for i := 0; i < each; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = r.Run(opts)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			results[each+i], errs[each+i] = r.RunStepwise(opts, 2, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+		raw, _ := json.Marshal(results[i])
+		if string(raw) != string(refRaw) {
+			t.Fatalf("request %d diverged from the reference result", i)
+		}
+	}
+
+	// Exactly one coherent cache entry for the key.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.cache) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(r.cache))
+	}
+	e, ok := r.cache[opts.Key()]
+	if !ok {
+		t.Fatal("cache entry is under the wrong key")
+	}
+	select {
+	case <-e.done:
+	default:
+		t.Fatal("cache entry still marked in-flight")
+	}
+	if e.err != nil || e.res == nil {
+		t.Fatalf("cache entry incoherent: res=%v err=%v", e.res, e.err)
+	}
+}
+
+// TestRunnerLookupAndMemoize: the serve-layer cache seam. Lookup peeks
+// without blocking or executing; Memoize lands an externally produced
+// result, dropping bodies per KeepBodies, and never clobbers an
+// existing entry.
+func TestRunnerLookupAndMemoize(t *testing.T) {
+	r := NewRunner(2)
+	execs := stubExec(r)
+	opts := core.DefaultOptions(2048, 2, core.LevelSubspace)
+
+	if _, ok := r.Lookup(opts); ok {
+		t.Fatal("Lookup hit an empty cache")
+	}
+	ext := &core.Result{Level: opts.Level, Threads: 2}
+	ext.Bodies = make([]nbody.Body, opts.Bodies)
+	if !r.Memoize(opts, ext) {
+		t.Fatal("Memoize refused an empty slot")
+	}
+	got, ok := r.Lookup(opts)
+	if !ok {
+		t.Fatal("Lookup missed a memoized entry")
+	}
+	if got.Bodies != nil {
+		t.Error("memoized copy kept bodies despite KeepBodies=false")
+	}
+	if ext.Bodies == nil {
+		t.Error("Memoize stripped the caller's bodies; only the cached copy should drop them")
+	}
+	if r.Memoize(opts, &core.Result{}) {
+		t.Fatal("Memoize overwrote an existing entry")
+	}
+	if again, ok := r.Lookup(opts); !ok || again != got {
+		t.Fatal("second Lookup did not return the original entry")
+	}
+	// Run is served from the memoized entry without executing.
+	if _, hit, err := r.Run(opts); err != nil || !hit {
+		t.Fatalf("Run after Memoize: hit=%v err=%v", hit, err)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("Run executed despite a memoized result")
+	}
+	if s := r.Stats(); s.Hits != 3 { // two Lookups + one Run
+		t.Errorf("Hits = %d, want 3", s.Hits)
+	}
+
+	// An in-flight entry is a Lookup miss, not a block.
+	slow := core.DefaultOptions(4096, 2, core.LevelAsync)
+	started, unblock := make(chan struct{}), make(chan struct{})
+	r.exec = func(o core.Options) (*core.Result, error) {
+		close(started)
+		<-unblock
+		return &core.Result{}, nil
+	}
+	go r.Run(slow) //nolint:errcheck
+	<-started
+	if _, ok := r.Lookup(slow); ok {
+		t.Error("Lookup returned an in-flight entry")
+	}
+	close(unblock)
 }

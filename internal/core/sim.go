@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,23 @@ import (
 	"upcbh/internal/octree"
 	"upcbh/internal/upc"
 	"upcbh/internal/vec"
+)
+
+// Lifecycle sentinel errors. Every lifecycle failure returned by Run,
+// Step, Finish and Snapshot wraps one of these, so callers that drive a
+// Sim on behalf of someone else (the bhserve session service) can map
+// them with errors.Is — a finished or over-scheduled session is the
+// caller's mistake (HTTP 409/400), not a server fault — without matching
+// on message text.
+var (
+	// ErrFinished: the session has finished; no further Run/Step/Finish.
+	ErrFinished = errors.New("session finished")
+	// ErrReleased: the heap storage has been recycled; only Release
+	// (a no-op) remains legal.
+	ErrReleased = errors.New("session released")
+	// ErrSchedule: a Step(k) would take the simulation past the
+	// configured Options.Steps.
+	ErrSchedule = errors.New("step exceeds the configured schedule")
 )
 
 // rootGeom is the root-cell geometry (SPLASH2's rsize plus center); at
@@ -256,9 +274,9 @@ func (s *Sim) start() {
 func (s *Sim) Run() (*Result, error) {
 	switch s.state {
 	case simFinished:
-		return nil, fmt.Errorf("core: Run on a finished Sim")
+		return nil, fmt.Errorf("core: Run on a finished Sim: %w", ErrFinished)
 	case simReleased:
-		return nil, fmt.Errorf("core: Run on a released Sim")
+		return nil, fmt.Errorf("core: Run on a released Sim: %w", ErrReleased)
 	}
 	if remaining := s.o.Steps - s.stepsDone; remaining > 0 {
 		if err := s.Step(remaining); err != nil {
@@ -281,13 +299,13 @@ func (s *Sim) Step(k int) error {
 	}
 	switch s.state {
 	case simFinished:
-		return fmt.Errorf("core: Step on a finished Sim")
+		return fmt.Errorf("core: Step on a finished Sim: %w", ErrFinished)
 	case simReleased:
-		return fmt.Errorf("core: Step on a released Sim")
+		return fmt.Errorf("core: Step on a released Sim: %w", ErrReleased)
 	}
 	if s.stepsDone+k > s.o.Steps {
-		return fmt.Errorf("core: Step(%d) would exceed the configured %d steps (%d already done)",
-			k, s.o.Steps, s.stepsDone)
+		return fmt.Errorf("core: Step(%d) would exceed the configured %d steps (%d already done): %w",
+			k, s.o.Steps, s.stepsDone, ErrSchedule)
 	}
 	if s.state == simNew {
 		s.start()
@@ -311,9 +329,9 @@ func (s *Sim) Finish() (*Result, error) {
 		s.start()
 	case simPaused:
 	case simFinished:
-		return nil, fmt.Errorf("core: Finish on a finished Sim")
+		return nil, fmt.Errorf("core: Finish on a finished Sim: %w", ErrFinished)
 	case simReleased:
-		return nil, fmt.Errorf("core: Finish on a released Sim")
+		return nil, fmt.Errorf("core: Finish on a released Sim: %w", ErrReleased)
 	}
 	s.sess.Finish()
 	s.state = simFinished

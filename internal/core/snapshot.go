@@ -63,7 +63,7 @@ func (s *Sim) Snapshot() (*Snapshot, error) {
 		s.start()
 	case simPaused, simFinished:
 	case simReleased:
-		return nil, fmt.Errorf("core: Snapshot on a released Sim")
+		return nil, fmt.Errorf("core: Snapshot on a released Sim: %w", ErrReleased)
 	}
 	p := s.rt.Threads()
 	snap := &Snapshot{

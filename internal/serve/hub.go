@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+
+	"upcbh/internal/core"
+)
+
+// hub fans one session's snapshot stream out to many subscribers: one
+// stepper publishes, N subscribers each drain a private buffered channel.
+// A slow consumer never blocks the stepper (which would stall every
+// session on the shard): when a subscriber's buffer is full, publish
+// drops that subscriber's oldest queued snapshot and enqueues the new
+// one. The consumer lags to the freshest frames — step indices it
+// observes stay strictly monotone, it always eventually sees the
+// terminal snapshot, and the drop is counted.
+type hub struct {
+	// mu guards everything below. publish and close run on the shard
+	// loop; subscribe/unsubscribe run on HTTP handler goroutines.
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	closed  bool
+	dropped uint64
+}
+
+// subscriber is one stream consumer's view of a hub.
+type subscriber struct {
+	ch      chan *core.Snapshot
+	dropped uint64 // snapshots this subscriber lost to the drop policy (guarded by hub.mu)
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe attaches a consumer with a private buffer of `buf`
+// snapshots. On a closed hub (the session already finished) it returns
+// nil: the caller serves the terminal state and ends the stream.
+func (h *hub) subscribe(buf int) *subscriber {
+	if buf < 1 {
+		buf = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	sub := &subscriber{ch: make(chan *core.Snapshot, buf)}
+	h.subs[sub] = struct{}{}
+	return sub
+}
+
+// unsubscribe detaches a consumer (idempotent; safe after close).
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; ok {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// publish delivers snap to every subscriber, applying the
+// drop-oldest-when-full policy per subscriber. Never blocks on a
+// consumer.
+func (h *hub) publish(snap *core.Snapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for sub := range h.subs {
+		for {
+			select {
+			case sub.ch <- snap:
+			default:
+				// Buffer full: evict the subscriber's oldest queued
+				// snapshot and retry. The inner default covers the race
+				// where the consumer drained between our two selects.
+				select {
+				case <-sub.ch:
+					sub.dropped++
+					h.dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// close ends the stream: every subscriber's channel closes after the
+// snapshots already buffered, and later subscribe calls return nil.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// droppedCount returns the total snapshots lost to the drop policy.
+func (h *hub) droppedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

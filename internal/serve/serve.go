@@ -1,0 +1,498 @@
+// Package serve is the multi-tenant simulation service: it exposes the
+// steppable session lifecycle of internal/core (create / step / snapshot
+// / stream / finish) over HTTP, multiplexing many concurrent sessions
+// onto a fixed set of worker shards.
+//
+// Architecture (DESIGN.md §12):
+//
+//   - Sessions are hashed by ID onto shards. Each shard is one
+//     goroutine-owned loop with a bounded request queue; every operation
+//     on a session executes on its shard's loop, so session state is
+//     single-writer and lock-free.
+//   - A full shard queue rejects immediately (HTTP 429 with Retry-After)
+//     instead of blocking the handler: explicit backpressure.
+//   - Each session has a fan-out hub: one stepper drives the simulation,
+//     N subscribers each consume a private buffered snapshot channel with
+//     a drop-oldest policy for slow consumers.
+//   - Completed runs land in a shared bench.Runner cache keyed by
+//     Options.Key(): an identical later create is served from cache
+//     without re-simulating (the create response carries cache_hit).
+//   - Shutdown drains gracefully: admissions stop (503), steppers park,
+//     in-flight queued requests finish, and every live session is
+//     Finish()ed and Release()d.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"upcbh/internal/bench"
+	"upcbh/internal/core"
+)
+
+// Config sizes the service. Zero values mean defaults.
+type Config struct {
+	// Shards is the number of worker shards (default: GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 64). When a
+	// shard's queue is full, requests are rejected with a backpressure
+	// status instead of blocking.
+	QueueDepth int
+	// SubBuffer is the per-subscriber snapshot buffer of the fan-out hub
+	// (default 8). A subscriber that falls more than SubBuffer snapshots
+	// behind starts losing its oldest frames.
+	SubBuffer int
+	// StreamEvery is the default stepping interval of the stream
+	// endpoint (default 1): the stepper pauses and publishes a snapshot
+	// every StreamEvery time-steps.
+	StreamEvery int
+	// Runner is the shared result cache (and its worker-pool discipline
+	// for anything the service runs through it). A fresh one is created
+	// when nil.
+	Runner *bench.Runner
+	// Logf receives progress lines (cache hits, drains, stepper faults);
+	// nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SubBuffer <= 0 {
+		c.SubBuffer = 8
+	}
+	if c.StreamEvery <= 0 {
+		c.StreamEvery = 1
+	}
+	if c.Runner == nil {
+		c.Runner = bench.NewRunner(0)
+	}
+}
+
+// session is one live (or completed) simulation owned by a shard. All
+// fields below the hub are owned by the shard loop: they are only read
+// or written from tasks executing on session.shard.
+type session struct {
+	id    string
+	key   string
+	shard *shard
+	hub   *hub
+
+	opts     core.Options
+	created  time.Time
+	cacheHit bool // born completed from the Options.Key() cache
+
+	// Shard-loop-owned state.
+	sim      *core.Sim    // nil for cache-hit sessions
+	result   *core.Result // set once finished
+	finished bool
+	released bool
+	stepping bool // a stream stepper is driving this session
+}
+
+// Server is the session service. Create with New, expose via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg    Config
+	runner *bench.Runner
+	shards []*shard
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	draining bool
+	drainCh  chan struct{} // closed when draining starts
+
+	steppers sync.WaitGroup
+
+	// Counters (mu-guarded; small and cold).
+	created   uint64
+	cacheHits uint64
+	released  uint64
+	rejected  uint64
+}
+
+// New builds and starts a Server: the shard loops are running on return.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:      cfg,
+		runner:   cfg.Runner,
+		sessions: make(map[string]*session),
+		drainCh:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, cfg.QueueDepth)
+		s.shards = append(s.shards, sh)
+		go sh.run(cfg.Logf)
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// submit routes fn to sh with admission control: draining beats busy,
+// and a full queue is an immediate rejection. The caller waits on the
+// returned task's done channel before reading fn's outputs.
+func (s *Server) submit(sh *shard, fn func()) (*task, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.mu.Unlock()
+	t, err := sh.trySubmit(fn)
+	if err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+	}
+	return t, err
+}
+
+// lookup finds a session by ID.
+func (s *Server) lookup(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// createSession admits one new session: assigns an ID, hashes it onto a
+// shard, and — on that shard's loop — either serves it from the
+// Options.Key() cache (no simulation is built) or constructs the live
+// core.Sim. The returned session is registered; err reports admission
+// (backpressure/draining) or construction (invalid options) failures.
+func (s *Server) createSession(opts core.Options) (*session, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	s.mu.Unlock()
+
+	sess := &session{
+		id:      id,
+		key:     opts.Key(),
+		shard:   s.shards[shardFor(id, len(s.shards))],
+		hub:     newHub(),
+		opts:    opts,
+		created: time.Now(),
+	}
+	var buildErr error
+	t, err := s.submit(sess.shard, func() {
+		// Content-addressed reuse: an identical completed run serves
+		// this session without building (or stepping) a simulation.
+		if res, ok := s.runner.Lookup(opts); ok {
+			sess.cacheHit = true
+			sess.result = res
+			sess.finished = true
+			sess.hub.close()
+			s.logf("session %s: cache hit for %s", id, sess.key)
+			return
+		}
+		sim, err := core.New(opts)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		sess.sim = sim
+	})
+	if err != nil {
+		return nil, err
+	}
+	<-t.done
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.created++
+	if sess.cacheHit {
+		s.cacheHits++
+	}
+	s.mu.Unlock()
+	return sess, nil
+}
+
+// finalizeLocked completes a session whose schedule has run out (or a
+// cache-hit session's live twin): collects the Result, feeds the shared
+// cache, and closes the fan-out hub so every subscriber's stream ends.
+// Must run on the session's shard loop. Only a full-schedule result is
+// memoized — a partial (drained) run covers fewer steps than the key
+// promises and would poison the cache.
+func (s *Server) finalizeLocked(sess *session) error {
+	if sess.finished || sess.sim == nil {
+		return nil
+	}
+	full := sess.sim.StepsDone() == sess.opts.Steps
+	res, err := sess.sim.Finish()
+	if err != nil {
+		return err
+	}
+	sess.result = res
+	sess.finished = true
+	if full {
+		s.runner.Memoize(sess.opts, res)
+	}
+	sess.hub.close()
+	return nil
+}
+
+// stepLocked advances a session k steps and publishes the resulting
+// snapshot to its hub; when the schedule completes it finalizes the
+// session (feeding the cache). Must run on the session's shard loop.
+func (s *Server) stepLocked(sess *session, k int) (*core.Snapshot, error) {
+	if sess.released {
+		return nil, core.ErrReleased
+	}
+	if sess.finished {
+		return nil, core.ErrFinished
+	}
+	if err := sess.sim.Step(k); err != nil {
+		return nil, err
+	}
+	snap, err := sess.sim.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	sess.hub.publish(snap)
+	if sess.sim.StepsDone() >= sess.opts.Steps {
+		if err := s.finalizeLocked(sess); err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// ensureStepperLocked starts the session's stream stepper if none is
+// driving it yet: one goroutine that repeatedly submits "advance every
+// steps and publish" tasks to the session's shard until the schedule
+// completes or the server drains. One stepper per session, however many
+// stream subscribers attach. Must run on the session's shard loop.
+func (s *Server) ensureStepperLocked(sess *session, every int) {
+	if sess.stepping || sess.finished || sess.released {
+		return
+	}
+	sess.stepping = true
+	s.steppers.Add(1)
+	go s.stepperLoop(sess, every)
+}
+
+// stepperLoop drives one session to completion from a dedicated
+// goroutine. The loop blocks on the shard queue (internal work yields to
+// external requests only through queue order) but aborts promptly when
+// the server starts draining — Shutdown finishes the session instead.
+func (s *Server) stepperLoop(sess *session, every int) {
+	defer s.steppers.Done()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		default:
+		}
+		var done bool
+		t := &task{done: make(chan struct{})}
+		t.fn = func() {
+			if sess.released || sess.finished {
+				done = true
+				return
+			}
+			k := every
+			if rem := sess.opts.Steps - sess.sim.StepsDone(); k > rem {
+				k = rem
+			}
+			if _, err := s.stepLocked(sess, k); err != nil {
+				s.logf("session %s: stepper stopped: %v", sess.id, err)
+				done = true
+				return
+			}
+			done = sess.finished
+		}
+		select {
+		case sess.shard.tasks <- t:
+		case <-s.drainCh:
+			s.clearStepping(sess)
+			return
+		}
+		<-t.done
+		if done {
+			s.clearStepping(sess)
+			return
+		}
+	}
+}
+
+// clearStepping marks the session as no longer driven, on its shard loop
+// if it is still accepting work (post-drain the flag no longer matters).
+func (s *Server) clearStepping(sess *session) {
+	t, err := sess.shard.trySubmit(func() { sess.stepping = false })
+	if err == nil {
+		<-t.done
+	}
+}
+
+// release tears one session down on its shard loop: Finish (collecting
+// whatever steps ran; feeding the cache only on a complete schedule),
+// Release, hub close, deregistration. remove is idempotent per session.
+func (s *Server) releaseLocked(sess *session) {
+	if !sess.released {
+		if sess.sim != nil {
+			if err := s.finalizeLocked(sess); err != nil {
+				s.logf("session %s: finish on release: %v", sess.id, err)
+			}
+			sess.sim.Release()
+		}
+		sess.released = true
+		sess.hub.close()
+	}
+	s.mu.Lock()
+	if _, ok := s.sessions[sess.id]; ok {
+		delete(s.sessions, sess.id)
+		s.released++
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the service: new admissions are rejected (503),
+// stream steppers stop, requests already queued on every shard finish,
+// and every live session is finished and released. It is safe to call
+// once; the HTTP server should be shut down after it so closing hubs
+// can end the open stream responses.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	close(s.drainCh)
+	s.mu.Unlock()
+
+	// Steppers park at their next drain check; their in-flight shard
+	// tasks complete first (the shard loops keep running).
+	s.steppers.Wait()
+
+	// Per shard: behind everything already queued, tear down the shard's
+	// sessions. Blocking send is safe — admissions are closed, so the
+	// queue can only drain.
+	for _, sh := range s.shards {
+		s.mu.Lock()
+		var mine []*session
+		for _, sess := range s.sessions {
+			if sess.shard == sh {
+				mine = append(mine, sess)
+			}
+		}
+		s.mu.Unlock()
+		t := &task{done: make(chan struct{})}
+		t.fn = func() {
+			for _, sess := range mine {
+				s.releaseLocked(sess)
+			}
+		}
+		sh.tasks <- t
+		<-t.done
+	}
+	for _, sh := range s.shards {
+		close(sh.stop)
+	}
+	for _, sh := range s.shards {
+		<-sh.exited
+	}
+	s.logf("drained: %d sessions released", s.Stats().Sessions.Released)
+}
+
+// SessionStats summarizes the session registry.
+type SessionStats struct {
+	Live      int    `json:"live"`
+	Created   uint64 `json:"created"`
+	CacheHits uint64 `json:"cache_hits"` // creates served from the Options.Key() cache
+	Released  uint64 `json:"released"`
+	Rejected  uint64 `json:"rejected"` // requests shed by backpressure
+}
+
+// ShardStats reports one shard's instantaneous load.
+type ShardStats struct {
+	ID       int `json:"id"`
+	Queue    int `json:"queue"`    // requests waiting
+	Capacity int `json:"capacity"` // bounded queue depth
+	Sessions int `json:"sessions"` // live sessions hashed here
+}
+
+// Stats is the service-wide observability snapshot (GET /stats).
+type Stats struct {
+	Sessions         SessionStats      `json:"sessions"`
+	Shards           []ShardStats      `json:"shards"`
+	Runner           bench.RunnerStats `json:"runner"`
+	SnapshotsDropped uint64            `json:"snapshots_dropped"` // fan-out slow-consumer drops
+	Draining         bool              `json:"draining"`
+}
+
+// Stats assembles the observability snapshot. It takes no shard tasks —
+// it must answer even when every queue is full.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Sessions: SessionStats{
+			Live:      len(s.sessions),
+			Created:   s.created,
+			CacheHits: s.cacheHits,
+			Released:  s.released,
+			Rejected:  s.rejected,
+		},
+		Draining: s.draining,
+	}
+	perShard := make(map[*shard]int)
+	var dropped uint64
+	for _, sess := range s.sessions {
+		perShard[sess.shard]++
+		dropped += sess.hub.droppedCount()
+	}
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, ShardStats{
+			ID:       sh.id,
+			Queue:    len(sh.tasks),
+			Capacity: cap(sh.tasks),
+			Sessions: perShard[sh],
+		})
+	}
+	st.SnapshotsDropped = dropped
+	st.Runner = s.runner.Stats()
+	return st
+}
+
+// synthSnapshot fabricates the terminal Snapshot of a completed run from
+// its cached Result: cache-hit sessions have no live Sim to ask. Bodies
+// are absent — the cache drops them (bench.Runner KeepBodies policy).
+func synthSnapshot(opts core.Options, res *core.Result) *core.Snapshot {
+	return &core.Snapshot{
+		Step:         opts.Steps,
+		Steps:        opts.Steps,
+		Warmup:       opts.Warmup,
+		Level:        res.Level,
+		ExecMode:     res.ExecMode,
+		Threads:      res.Threads,
+		Scenario:     opts.Scenario,
+		Time:         float64(opts.Steps) * opts.Dt,
+		Clocks:       make([]float64, res.Threads),
+		Phases:       res.Phases,
+		StepPhases:   res.StepPhases,
+		Interactions: res.Interactions,
+		Bodies:       res.Bodies,
+	}
+}

@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"upcbh/internal/core"
+)
+
+// testOpts is a fast session configuration: small body count, few steps.
+func testOpts(steps int) core.Options {
+	opts := core.DefaultOptions(256, 2, core.LevelMergedBuild)
+	opts.Steps, opts.Warmup = steps, 1
+	return opts
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s := New(cfg)
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// TestShardAssignmentStable: shardFor is deterministic and in-range, so
+// a session's every operation lands on the same loop for its lifetime.
+func TestShardAssignmentStable(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 16} {
+		for i := 0; i < 100; i++ {
+			id := fmt.Sprintf("s-%d", i)
+			a, b := shardFor(id, n), shardFor(id, n)
+			if a != b {
+				t.Fatalf("shardFor(%q, %d) unstable: %d vs %d", id, n, a, b)
+			}
+			if a < 0 || a >= n {
+				t.Fatalf("shardFor(%q, %d) = %d out of range", id, n, a)
+			}
+		}
+	}
+	// Sessions spread: with 8 shards and 100 IDs at least 2 shards are hit.
+	hit := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		hit[shardFor(fmt.Sprintf("s-%d", i), 8)] = true
+	}
+	if len(hit) < 2 {
+		t.Fatalf("100 sessions all hashed onto one of 8 shards")
+	}
+}
+
+// TestSessionLifecycle: create → step to completion → result, with the
+// lifecycle sentinels surfacing on post-finish steps.
+func TestSessionLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	sess, err := s.createSession(testOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var snap *core.Snapshot
+		var stepErr error
+		tk, err := s.submit(sess.shard, func() { snap, stepErr = s.stepLocked(sess, 1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-tk.done
+		if stepErr != nil {
+			t.Fatal(stepErr)
+		}
+		if snap.Step != i+1 {
+			t.Fatalf("step %d: snapshot at step %d", i+1, snap.Step)
+		}
+	}
+	// Schedule complete: the session auto-finalized and further steps
+	// are lifecycle conflicts.
+	var stepErr error
+	tk, err := s.submit(sess.shard, func() { _, stepErr = s.stepLocked(sess, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+	if stepErr == nil || httpStatus(stepErr) != http.StatusConflict {
+		t.Fatalf("step after completion: err=%v status=%d, want 409", stepErr, httpStatus(stepErr))
+	}
+	if !sess.finished || sess.result == nil {
+		t.Fatal("completed session not finalized")
+	}
+}
+
+// TestCreateCacheHit: a completed run's result is reused for an
+// identical later create — no simulation is built, the session is born
+// finished, and the synthesized terminal snapshot matches the schedule.
+func TestCreateCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	opts := testOpts(3)
+
+	first, err := s.createSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.submit(first.shard, func() {
+		if _, err := s.stepLocked(first, 3); err != nil {
+			t.Errorf("run to completion: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+
+	second, err := s.createSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.cacheHit {
+		t.Fatal("identical create after completion was not a cache hit")
+	}
+	if second.sim != nil {
+		t.Fatal("cache-hit session built a simulation")
+	}
+	snap, err := s.snapshotOf(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != opts.Steps {
+		t.Fatalf("cache-hit snapshot at step %d, want terminal %d", snap.Step, opts.Steps)
+	}
+	if st := s.Stats(); st.Sessions.CacheHits != 1 {
+		t.Fatalf("stats cache_hits = %d, want 1", st.Sessions.CacheHits)
+	}
+
+	// A partial run must NOT poison the cache: drain a half-stepped
+	// session and re-create — the key promises the full schedule.
+	partialOpts := testOpts(4)
+	partialOpts.Seed = 999 // distinct key from the runs above
+	p1, err := s.createSession(partialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err = s.submit(p1.shard, func() {
+		if _, err := s.stepLocked(p1, 2); err != nil {
+			t.Errorf("partial step: %v", err)
+		}
+		s.releaseLocked(p1) // finishes at step 2 of 4: partial result
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+	p2, err := s.createSession(partialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.cacheHit {
+		t.Fatal("partial (drained) result was memoized: cache poisoned")
+	}
+}
+
+// TestBackpressureQueueFull: a full shard queue rejects immediately with
+// errBusy (HTTP 429), and clears once the queue drains.
+func TestBackpressureQueueFull(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, QueueDepth: 1})
+	sh := s.shards[0]
+
+	// Occupy the loop, then fill the single queue slot.
+	block := make(chan struct{})
+	running := make(chan struct{})
+	if _, err := sh.trySubmit(func() { close(running); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	if _, err := sh.trySubmit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue full: submissions shed load instead of blocking.
+	_, err := s.submit(sh, func() {})
+	if err == nil {
+		t.Fatal("full queue accepted a task")
+	}
+	if httpStatus(err) != http.StatusTooManyRequests {
+		t.Fatalf("full queue error %v maps to %d, want 429", err, httpStatus(err))
+	}
+	if st := s.Stats(); st.Sessions.Rejected != 1 {
+		t.Fatalf("stats rejected = %d, want 1", st.Sessions.Rejected)
+	}
+
+	close(block)
+	// The queue drains; submissions succeed again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tk, err := s.submit(sh, func() {})
+		if err == nil {
+			<-tk.done
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFanOutSubscribers: one stepper, several subscribers — including a
+// slow one with a tiny buffer. Every subscriber sees strictly monotone
+// step indices and the terminal snapshot; the slow one may lose
+// intermediate frames (counted), never ordering or the final state.
+func TestFanOutSubscribers(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, SubBuffer: 2})
+	steps := 6
+	sess, err := s.createSession(testOpts(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nSubs = 4 // subscriber 0 is deliberately slow
+	subs := make([]*subscriber, nSubs)
+	tk, err := s.submit(sess.shard, func() {
+		for i := range subs {
+			buf := s.cfg.SubBuffer
+			if i == 0 {
+				buf = 1
+			}
+			subs[i] = sess.hub.subscribe(buf)
+		}
+		s.ensureStepperLocked(sess, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+
+	var wg sync.WaitGroup
+	got := make([][]int, nSubs)
+	for i, sub := range subs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for snap := range sub.ch {
+				if i == 0 {
+					time.Sleep(5 * time.Millisecond) // lag behind the stepper
+				}
+				got[i] = append(got[i], snap.Step)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, seq := range got {
+		if len(seq) == 0 {
+			t.Fatalf("subscriber %d saw no snapshots", i)
+		}
+		for k := 1; k < len(seq); k++ {
+			if seq[k] <= seq[k-1] {
+				t.Fatalf("subscriber %d: non-monotone steps %v", i, seq)
+			}
+		}
+		if seq[len(seq)-1] != steps {
+			t.Fatalf("subscriber %d missed the terminal snapshot: %v", i, seq)
+		}
+	}
+	// The fast subscribers with ample buffers saw every frame.
+	if full := got[1]; len(full) != steps {
+		t.Logf("subscriber 1 saw %v (drops allowed under -race scheduling)", full)
+	}
+}
+
+// TestGracefulDrain: Shutdown stops admissions, parks steppers, and
+// releases every session — none leak, and post-drain requests map to 503.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Shards: 2, Logf: t.Logf})
+	var sessions []*session
+	for i := 0; i < 6; i++ {
+		sess, err := s.createSession(testOpts(50)) // long schedule: drain cuts it short
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, sess)
+	}
+	// Put steppers on half of them so drain has live drivers to park.
+	for _, sess := range sessions[:3] {
+		tk, err := s.submit(sess.shard, func() { s.ensureStepperLocked(sess, 1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-tk.done
+	}
+
+	s.Shutdown()
+
+	st := s.Stats()
+	if st.Sessions.Live != 0 {
+		t.Fatalf("%d sessions leaked past drain", st.Sessions.Live)
+	}
+	if st.Sessions.Released != 6 {
+		t.Fatalf("released %d sessions, want 6", st.Sessions.Released)
+	}
+	for _, sess := range sessions {
+		if !sess.released {
+			t.Fatalf("session %s not released by drain", sess.id)
+		}
+	}
+	if _, err := s.createSession(testOpts(3)); err == nil || httpStatus(err) != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain create: err=%v, want 503 mapping", err)
+	}
+	s.Shutdown() // idempotent
+}
+
+// TestHTTPEndToEnd drives the full HTTP surface: create, status, step,
+// snapshot, stream (NDJSON, monotone, terminal), result, delete, stats,
+// and the 404/409/410 mappings.
+func TestHTTPEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		var rd *strings.Reader
+		if body == "" {
+			rd = strings.NewReader("{}")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := bufio.NewReader(resp.Body).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return resp, []byte(buf.String())
+	}
+
+	// Create with an options overlay.
+	resp, body := post("/sims", `{"options":{"bodies":256,"steps":4,"warmup":1,"level":"merged","machine":{"threads":2}}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var si sessionInfo
+	if err := json.Unmarshal(body, &si); err != nil {
+		t.Fatal(err)
+	}
+	if si.Steps != 4 || si.Done != 0 || si.Finished || si.CacheHit {
+		t.Fatalf("fresh session info: %+v", si)
+	}
+
+	// Step twice.
+	resp, body = post("/sims/"+si.ID+"/step?k=2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d %s", resp.StatusCode, body)
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != 2 {
+		t.Fatalf("after step k=2: snapshot at %d", snap.Step)
+	}
+	if len(snap.Bodies) != 0 {
+		t.Fatal("step response includes bodies without ?bodies=1")
+	}
+
+	// Snapshot endpoint agrees.
+	resp, err := http.Get(ts.URL + "/sims/" + si.ID + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Step != 2 {
+		t.Fatalf("snapshot at %d, want 2", snap.Step)
+	}
+
+	// Stream the rest: strictly monotone from the current state to the
+	// terminal step.
+	resp, err = http.Get(ts.URL + "/sims/" + si.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+	var streamed []int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var sn core.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &sn); err != nil {
+			t.Fatalf("bad NDJSON: %v", err)
+		}
+		streamed = append(streamed, sn.Step)
+	}
+	resp.Body.Close()
+	if len(streamed) == 0 || streamed[0] != 2 || streamed[len(streamed)-1] != 4 {
+		t.Fatalf("streamed steps %v, want 2..4", streamed)
+	}
+	for k := 1; k < len(streamed); k++ {
+		if streamed[k] <= streamed[k-1] {
+			t.Fatalf("non-monotone stream %v", streamed)
+		}
+	}
+
+	// The schedule completed during the stream: further steps are 409.
+	resp, body = post("/sims/"+si.ID+"/step", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("step after completion: %d %s, want 409", resp.StatusCode, body)
+	}
+
+	// Result is available.
+	resp, err = http.Get(ts.URL + "/sims/" + si.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res core.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Threads != 2 || res.Phases.Total() <= 0 {
+		t.Fatalf("result: threads=%d total=%v", res.Threads, res.Phases.Total())
+	}
+
+	// An identical create is a cache hit, born finished.
+	resp, body = post("/sims", `{"options":{"bodies":256,"steps":4,"warmup":1,"level":"merged","machine":{"threads":2}}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second create: %d %s", resp.StatusCode, body)
+	}
+	var si2 sessionInfo
+	if err := json.Unmarshal(body, &si2); err != nil {
+		t.Fatal(err)
+	}
+	if !si2.CacheHit || !si2.Finished || si2.Done != 4 {
+		t.Fatalf("identical create not served from cache: %+v", si2)
+	}
+
+	// Delete; the session is then gone (404), and deleting again 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sims/"+si.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/sims/" + si.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after delete: %d, want 404", resp.StatusCode)
+	}
+
+	// Bad create bodies are 400.
+	resp, body = post("/sims", `{"options":{"bodies":1}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid options: %d %s, want 400", resp.StatusCode, body)
+	}
+
+	// Stats reflect the traffic.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Sessions.Created != 2 || st.Sessions.CacheHits != 1 {
+		t.Fatalf("stats: %+v", st.Sessions)
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats shards: %+v", st.Shards)
+	}
+}
+
+// TestStreamFromFinishedSession: streaming a completed (cache-hit)
+// session yields exactly the terminal snapshot and a closed stream.
+func TestStreamFromFinishedSession(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	opts := testOpts(2)
+	sess, err := s.createSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := s.submit(sess.shard, func() {
+		if _, err := s.stepLocked(sess, 2); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+
+	resp, err := http.Get(ts.URL + "/sims/" + sess.id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 1 {
+		t.Fatalf("finished-session stream emitted %d frames, want 1", len(lines))
+	}
+	var sn core.Snapshot
+	if err := json.Unmarshal([]byte(lines[0]), &sn); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Step != 2 {
+		t.Fatalf("terminal frame at step %d, want 2", sn.Step)
+	}
+}

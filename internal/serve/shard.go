@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"errors"
+	"hash/fnv"
+)
+
+// Backpressure sentinels: the HTTP layer maps errBusy to 429 (the
+// shard's bounded queue is full — retry) and errDraining to 503 (the
+// server is shutting down — go elsewhere). Explicit rejection instead of
+// blocking is the whole point of the bounded queues: a burst against one
+// shard sheds load instead of tying up handler goroutines.
+var (
+	errBusy     = errors.New("serve: shard queue full")
+	errDraining = errors.New("serve: server draining")
+)
+
+// task is one unit of work executed on a shard loop. fn runs on the
+// shard's goroutine with exclusive access to every session owned by the
+// shard; done closes when it has run. Results travel through variables
+// the closure captures — the submitter reads them only after <-done.
+type task struct {
+	fn   func()
+	done chan struct{}
+}
+
+// shard is one worker: a goroutine-owned loop draining a bounded task
+// queue. Sessions are hashed onto shards by ID and every operation on a
+// session executes on its shard's loop, so session state needs no locks —
+// the shard loop is the session's single writer (the same ownership
+// discipline the orchestrate/buffer pipelines in slog-agent use).
+type shard struct {
+	id     int
+	tasks  chan *task
+	stop   chan struct{} // closed by Shutdown after the last submission
+	exited chan struct{} // closed by the loop on exit
+}
+
+func newShard(id, depth int) *shard {
+	return &shard{
+		id:     id,
+		tasks:  make(chan *task, depth),
+		stop:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+}
+
+// run is the shard loop. After stop closes it drains whatever is already
+// queued (Shutdown guarantees no further submissions) and exits.
+func (sh *shard) run(logf func(string, ...any)) {
+	runOne := func(t *task) {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil && logf != nil {
+				// A panicking task (a poisoned simulation session) must
+				// not take the shard loop down with it: every other
+				// session on the shard would hang.
+				logf("shard %d: task panic: %v", sh.id, r)
+			}
+		}()
+		t.fn()
+	}
+	for {
+		select {
+		case t := <-sh.tasks:
+			runOne(t)
+		case <-sh.stop:
+			for {
+				select {
+				case t := <-sh.tasks:
+					runOne(t)
+				default:
+					close(sh.exited)
+					return
+				}
+			}
+		}
+	}
+}
+
+// trySubmit enqueues fn without blocking; a full queue is an immediate
+// errBusy, never a wait — the caller turns it into a backpressure status.
+func (sh *shard) trySubmit(fn func()) (*task, error) {
+	t := &task{fn: fn, done: make(chan struct{})}
+	select {
+	case sh.tasks <- t:
+		return t, nil
+	default:
+		return nil, errBusy
+	}
+}
+
+// shardFor hashes a session ID onto one of n shards (FNV-1a): the
+// assignment is stable for the session's lifetime, so all its operations
+// serialize on one loop.
+func shardFor(id string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(n))
+}
