@@ -135,7 +135,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	sess, err := s.createSession(opts)
+	// createSession captures the sessionInfo inside its one shard task:
+	// no follow-up submission that backpressure could reject after the
+	// session is already registered.
+	_, si, err := s.createSession(opts)
 	if err != nil {
 		if errors.Is(err, errBusy) || errors.Is(err, errDraining) {
 			writeErr(w, err)
@@ -143,11 +146,6 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			// core.New rejected the configuration.
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		}
-		return
-	}
-	si, err := s.info(sess)
-	if err != nil {
-		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, si)
@@ -234,8 +232,12 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, stepErr)
 		return
 	}
+	// snap was published to the session's hub: stream subscribers may be
+	// encoding it concurrently, so strip bodies on a copy, never in place.
 	if r.URL.Query().Get("bodies") == "" {
-		snap.Bodies = nil
+		c := *snap
+		c.Bodies = nil
+		snap = &c
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

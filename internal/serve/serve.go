@@ -112,10 +112,11 @@ type Server struct {
 	steppers sync.WaitGroup
 
 	// Counters (mu-guarded; small and cold).
-	created   uint64
-	cacheHits uint64
-	released  uint64
-	rejected  uint64
+	created     uint64
+	cacheHits   uint64
+	released    uint64
+	rejected    uint64
+	snapDropped uint64 // fan-out drops of released sessions: keeps SnapshotsDropped monotone
 }
 
 // New builds and starts a Server: the shard loops are running on return.
@@ -171,13 +172,17 @@ func (s *Server) lookup(id string) (*session, bool) {
 // createSession admits one new session: assigns an ID, hashes it onto a
 // shard, and — on that shard's loop — either serves it from the
 // Options.Key() cache (no simulation is built) or constructs the live
-// core.Sim. The returned session is registered; err reports admission
-// (backpressure/draining) or construction (invalid options) failures.
-func (s *Server) createSession(opts core.Options) (*session, error) {
+// core.Sim. The sessionInfo is captured on the shard loop in the same
+// task, so creation is a single submission and the response payload
+// cannot be lost to a later backpressure rejection. The returned session
+// is registered; err reports admission (backpressure/draining) or
+// construction (invalid options) failures.
+func (s *Server) createSession(opts core.Options) (*session, sessionInfo, error) {
+	var si sessionInfo
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return nil, errDraining
+		return nil, si, errDraining
 	}
 	s.nextID++
 	id := fmt.Sprintf("s-%d", s.nextID)
@@ -201,31 +206,55 @@ func (s *Server) createSession(opts core.Options) (*session, error) {
 			sess.finished = true
 			sess.hub.close()
 			s.logf("session %s: cache hit for %s", id, sess.key)
-			return
+		} else {
+			sim, err := core.New(opts)
+			if err != nil {
+				buildErr = err
+				return
+			}
+			sess.sim = sim
 		}
-		sim, err := core.New(opts)
-		if err != nil {
-			buildErr = err
-			return
+		si = sessionInfo{
+			ID:       sess.id,
+			Key:      sess.key,
+			Shard:    sess.shard.id,
+			Steps:    opts.Steps,
+			Finished: sess.finished,
+			CacheHit: sess.cacheHit,
 		}
-		sess.sim = sim
+		if sess.finished {
+			si.Done = opts.Steps
+		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, si, err
 	}
 	<-t.done
 	if buildErr != nil {
-		return nil, buildErr
+		return nil, si, buildErr
 	}
 
+	// Register atomically with the draining check: Shutdown flips
+	// draining under mu before sweeping, so either this session lands in
+	// the registry in time for the sweep, or we observe draining here and
+	// tear it down ourselves — unregistered and unreturned, this
+	// goroutine is its only owner, so no shard task is needed.
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if sess.sim != nil {
+			sess.sim.Release()
+		}
+		sess.hub.close()
+		return nil, si, errDraining
+	}
 	s.sessions[id] = sess
 	s.created++
 	if sess.cacheHit {
 		s.cacheHits++
 	}
 	s.mu.Unlock()
-	return sess, nil
+	return sess, si, nil
 }
 
 // finalizeLocked completes a session whose schedule has run out (or a
@@ -363,6 +392,10 @@ func (s *Server) releaseLocked(sess *session) {
 	if _, ok := s.sessions[sess.id]; ok {
 		delete(s.sessions, sess.id)
 		s.released++
+		// The hub is closed above, so its drop count is final: fold it
+		// into the service-wide counter so Stats stays monotone after
+		// the session leaves the registry.
+		s.snapDropped += sess.hub.droppedCount()
 	}
 	s.mu.Unlock()
 }
@@ -457,7 +490,7 @@ func (s *Server) Stats() Stats {
 		Draining: s.draining,
 	}
 	perShard := make(map[*shard]int)
-	var dropped uint64
+	dropped := s.snapDropped // drops of already-released sessions
 	for _, sess := range s.sessions {
 		perShard[sess.shard]++
 		dropped += sess.hub.droppedCount()

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -60,7 +61,7 @@ func TestShardAssignmentStable(t *testing.T) {
 // lifecycle sentinels surfacing on post-finish steps.
 func TestSessionLifecycle(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
-	sess, err := s.createSession(testOpts(3))
+	sess, _, err := s.createSession(testOpts(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestCreateCacheHit(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2})
 	opts := testOpts(3)
 
-	first, err := s.createSession(opts)
+	first, _, err := s.createSession(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestCreateCacheHit(t *testing.T) {
 	}
 	<-tk.done
 
-	second, err := s.createSession(opts)
+	second, _, err := s.createSession(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestCreateCacheHit(t *testing.T) {
 	// session and re-create — the key promises the full schedule.
 	partialOpts := testOpts(4)
 	partialOpts.Seed = 999 // distinct key from the runs above
-	p1, err := s.createSession(partialOpts)
+	p1, _, err := s.createSession(partialOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestCreateCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-tk.done
-	p2, err := s.createSession(partialOpts)
+	p2, _, err := s.createSession(partialOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestBackpressureQueueFull(t *testing.T) {
 func TestFanOutSubscribers(t *testing.T) {
 	s := newTestServer(t, Config{Shards: 2, SubBuffer: 2})
 	steps := 6
-	sess, err := s.createSession(testOpts(steps))
+	sess, _, err := s.createSession(testOpts(steps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestGracefulDrain(t *testing.T) {
 	s := New(Config{Shards: 2, Logf: t.Logf})
 	var sessions []*session
 	for i := 0; i < 6; i++ {
-		sess, err := s.createSession(testOpts(50)) // long schedule: drain cuts it short
+		sess, _, err := s.createSession(testOpts(50)) // long schedule: drain cuts it short
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -308,7 +309,7 @@ func TestGracefulDrain(t *testing.T) {
 			t.Fatalf("session %s not released by drain", sess.id)
 		}
 	}
-	if _, err := s.createSession(testOpts(3)); err == nil || httpStatus(err) != http.StatusServiceUnavailable {
+	if _, _, err := s.createSession(testOpts(3)); err == nil || httpStatus(err) != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain create: err=%v, want 503 mapping", err)
 	}
 	s.Shutdown() // idempotent
@@ -488,6 +489,117 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStepDoesNotMutateStreamedSnapshot: /step without ?bodies must not
+// strip Bodies from the hub-published snapshot a stream subscriber is
+// concurrently encoding — the handler strips on a copy. The subscriber
+// here encodes every published frame exactly as the stream endpoint's
+// ?bodies=1 path does; under -race the old in-place mutation is a
+// reported data race, and functionally every frame must keep its bodies.
+func TestStepDoesNotMutateStreamedSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1, SubBuffer: 4})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	opts := core.DefaultOptions(1024, 2, core.LevelMergedBuild)
+	opts.Steps, opts.Warmup = 20, 1
+	sess, _, err := s.createSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub *subscriber
+	tk, err := s.submit(sess.shard, func() { sub = sess.hub.subscribe(s.cfg.SubBuffer) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for snap := range sub.ch {
+			b, err := json.Marshal(snap) // shares the published pointer with the /step handler
+			if err != nil {
+				t.Errorf("encode frame: %v", err)
+				return
+			}
+			var sn core.Snapshot
+			if err := json.Unmarshal(b, &sn); err != nil {
+				t.Errorf("decode frame: %v", err)
+				return
+			}
+			if len(sn.Bodies) == 0 {
+				t.Errorf("streamed frame %d lost its bodies to /step", sn.Step)
+			}
+		}
+	}()
+
+	// Drive the whole schedule via body-less /step requests racing the
+	// subscriber's encoder; 429 under queue pressure is a retry.
+	deadline := time.Now().Add(30 * time.Second)
+	for stepped := 0; stepped < opts.Steps && time.Now().Before(deadline); {
+		resp, err := http.Post(ts.URL+"/sims/"+sess.id+"/step", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			stepped++
+		}
+	}
+	<-done // finalize closed the hub after the last step
+}
+
+// TestSnapshotsDroppedMonotone: releasing a session whose subscribers
+// lost frames must not shrink the service-wide drop counter — released
+// sessions' drops fold into a server accumulator.
+func TestSnapshotsDroppedMonotone(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	sess, _, err := s.createSession(testOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subscriber with a one-deep buffer that never drains: every
+	// publish past the first evicts its oldest frame.
+	tk, err := s.submit(sess.shard, func() {
+		sess.hub.subscribe(1)
+		if _, err := s.stepLocked(sess, 1); err != nil {
+			t.Errorf("step: %v", err)
+			return
+		}
+		if _, err := s.stepLocked(sess, 1); err != nil {
+			t.Errorf("step: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+	before := s.Stats().SnapshotsDropped
+	if before == 0 {
+		t.Fatal("slow subscriber produced no drops")
+	}
+	tk, err = s.submit(sess.shard, func() { s.releaseLocked(sess) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-tk.done
+	if after := s.Stats().SnapshotsDropped; after < before {
+		t.Fatalf("SnapshotsDropped shrank on release: %d -> %d", before, after)
+	}
+}
+
+// TestTrySubmitAfterShutdown: once the shard loops have exited, a
+// straggling trySubmit must be rejected with errDraining rather than
+// enqueueing a task nobody will run (which would hang the caller on
+// <-t.done forever).
+func TestTrySubmitAfterShutdown(t *testing.T) {
+	s := New(Config{Shards: 1, Logf: t.Logf})
+	s.Shutdown()
+	if _, err := s.shards[0].trySubmit(func() {}); !errors.Is(err, errDraining) {
+		t.Fatalf("trySubmit on a stopped shard: err=%v, want errDraining", err)
+	}
+}
+
 // TestStreamFromFinishedSession: streaming a completed (cache-hit)
 // session yields exactly the terminal snapshot and a closed stream.
 func TestStreamFromFinishedSession(t *testing.T) {
@@ -496,7 +608,7 @@ func TestStreamFromFinishedSession(t *testing.T) {
 	t.Cleanup(ts.Close)
 
 	opts := testOpts(2)
-	sess, err := s.createSession(opts)
+	sess, _, err := s.createSession(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

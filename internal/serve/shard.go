@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"hash/fnv"
+	"sync"
 )
 
 // Backpressure sentinels: the HTTP layer maps errBusy to 429 (the
@@ -34,6 +35,14 @@ type shard struct {
 	tasks  chan *task
 	stop   chan struct{} // closed by Shutdown after the last submission
 	exited chan struct{} // closed by the loop on exit
+
+	// mu orders trySubmit's enqueue against the loop's exit: the loop
+	// sets closed under mu before its final queue drain, so every
+	// trySubmit either lands its task before that drain or is rejected —
+	// no task can slip into the channel after the loop stops reading it
+	// (which would strand the submitter on <-t.done forever).
+	mu     sync.Mutex
+	closed bool
 }
 
 func newShard(id, depth int) *shard {
@@ -65,6 +74,13 @@ func (sh *shard) run(logf func(string, ...any)) {
 		case t := <-sh.tasks:
 			runOne(t)
 		case <-sh.stop:
+			// Refuse further trySubmits before the final drain: any
+			// enqueue serialized before this flag flipped is already in
+			// the buffered channel, so the drain below runs it; any
+			// after sees closed and gets errDraining.
+			sh.mu.Lock()
+			sh.closed = true
+			sh.mu.Unlock()
 			for {
 				select {
 				case t := <-sh.tasks:
@@ -80,8 +96,16 @@ func (sh *shard) run(logf func(string, ...any)) {
 
 // trySubmit enqueues fn without blocking; a full queue is an immediate
 // errBusy, never a wait — the caller turns it into a backpressure status.
+// Once the shard loop has stopped it returns errDraining: holding mu
+// across the enqueue guarantees the loop's final drain sees every task
+// accepted here.
 func (sh *shard) trySubmit(fn func()) (*task, error) {
 	t := &task{fn: fn, done: make(chan struct{})}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return nil, errDraining
+	}
 	select {
 	case sh.tasks <- t:
 		return t, nil
