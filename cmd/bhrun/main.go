@@ -13,6 +13,14 @@
 //
 //	bhrun -n 4096 -threads 8 -steps 8 -stream -snap-every 2
 //	bhrun -n 512 -steps 4 -stream -snap-bodies | jq .step
+//
+// With -checkpoint the run pauses at -checkpoint-at, writes the full
+// paused state as one checkpoint container, and continues; -restore
+// resumes a run from such a container (which carries the complete
+// configuration) and produces byte-identical remaining output:
+//
+//	bhrun -n 16384 -threads 8 -steps 8 -checkpoint run.ckpt -checkpoint-at 4
+//	bhrun -restore run.ckpt
 package main
 
 import (
@@ -62,6 +70,10 @@ func main() {
 		stream     = flag.Bool("stream", false, "steppable run: emit one JSON snapshot per line on stdout instead of the report")
 		snapEvery  = flag.Int("snap-every", 1, "with -stream: steps between snapshots")
 		snapBodies = flag.Bool("snap-bodies", false, "with -stream: include the full body state in each snapshot")
+
+		ckptFile = flag.String("checkpoint", "", "write a checkpoint container to this file at step -checkpoint-at, then continue the run")
+		ckptAt   = flag.Int("checkpoint-at", 0, "with -checkpoint: absolute step at which to capture (0 = the initial state)")
+		restoreF = flag.String("restore", "", "resume from a checkpoint file; the container carries the full configuration, so the simulation-shape flags conflict")
 	)
 	flag.Parse()
 
@@ -99,6 +111,33 @@ func main() {
 	if *stream && *energy {
 		usageErr("-energy cannot be combined with -stream (the snapshot stream owns stdout)")
 	}
+	if *restoreF != "" {
+		// The checkpoint container carries the complete configuration; a
+		// flag that would contradict it is a mistake, not an override.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n", "threads", "level", "mode", "scenario", "steps", "warmup",
+				"theta", "eps", "dt", "seed", "pernode", "pthreads", "novecreduce":
+				usageErr("-%s conflicts with -restore (the checkpoint carries the configuration)", f.Name)
+			case "energy":
+				usageErr("-energy needs the initial conditions, which a restored run no longer has")
+			}
+		})
+	}
+	if *ckptFile == "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-at" {
+				usageErr("-checkpoint-at requires -checkpoint")
+			}
+		})
+	} else {
+		if *stream {
+			usageErr("-checkpoint cannot be combined with -stream (use the session service for that)")
+		}
+		if *ckptAt < 0 {
+			usageErr("-checkpoint-at must be non-negative, got %d", *ckptAt)
+		}
+	}
 
 	level, err := upcbh.ParseLevel(*levelS)
 	if err != nil {
@@ -124,6 +163,30 @@ func main() {
 		usageErr("%v", err)
 	}
 
+	// Build the simulation: either fresh from the flags or resumed from a
+	// checkpoint container, which carries the full configuration (the
+	// restored Options replace the flag-derived ones everywhere below).
+	var sim *upcbh.Sim
+	if *restoreF != "" {
+		f, err := os.Open(*restoreF)
+		if err != nil {
+			fatal(err)
+		}
+		sim, err = upcbh.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		opts = sim.Options()
+		fmt.Fprintf(os.Stderr, "bhrun: resumed from %s at step %d of %d\n", *restoreF, sim.StepsDone(), opts.Steps)
+	} else {
+		var err error
+		sim, err = upcbh.New(opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	if *stream {
 		// A downstream close (`bhrun -stream | head -1`) surfaces as EPIPE
 		// from the snapshot encoder: that is the consumer saying "enough",
@@ -137,7 +200,7 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(sig)
-		if err := runStream(os.Stdout, opts, *steps, *snapEvery, *snapBodies, sig); err != nil && !downstreamClosed(err) {
+		if err := runStream(os.Stdout, sim, opts.Steps, *snapEvery, *snapBodies, sig); err != nil && !downstreamClosed(err) {
 			fatal(err)
 		}
 		return
@@ -145,17 +208,31 @@ func main() {
 
 	var e0kin, e0pot float64
 	if *energy {
-		ic, err := upcbh.GenerateScenario(scenario.Name(), *n, *seed)
+		ic, err := upcbh.GenerateScenario(opts.Scenario, opts.Bodies, opts.Seed)
 		if err != nil {
 			fatal(err)
 		}
-		e0kin, e0pot = upcbh.Energy(ic, *eps)
+		e0kin, e0pot = upcbh.Energy(ic, opts.Eps)
 	}
 
-	sim, err := upcbh.New(opts)
-	if err != nil {
-		fatal(err)
+	if *ckptFile != "" {
+		if *ckptAt > opts.Steps {
+			usageErr("-checkpoint-at %d exceeds the %d-step schedule", *ckptAt, opts.Steps)
+		}
+		if *ckptAt < sim.StepsDone() {
+			usageErr("-checkpoint-at %d is before the restored step %d", *ckptAt, sim.StepsDone())
+		}
+		if k := *ckptAt - sim.StepsDone(); k > 0 {
+			if err := sim.Step(k); err != nil {
+				fatal(err)
+			}
+		}
+		if err := sim.CheckpointFile(*ckptFile); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bhrun: checkpoint written to %s at step %d\n", *ckptFile, sim.StepsDone())
 	}
+
 	res, err := sim.Run()
 	if err != nil {
 		fatal(err)
@@ -163,11 +240,12 @@ func main() {
 	sim.Release()
 
 	timeKind := "simulated"
-	if mode == upcbh.ModeNative {
+	if opts.ExecMode == upcbh.ModeNative {
 		timeKind = "wall-clock"
 	}
+	m := opts.Machine
 	fmt.Printf("level=%s mode=%s scenario=%s bodies=%d threads=%d (per-node=%d pthreads=%v) steps=%d measured=%d\n",
-		level, mode, scenario.Name(), *n, *threads, *perNode, *pthreads, *steps, *steps-*warmup)
+		opts.Level, opts.ExecMode, opts.Scenario, opts.Bodies, m.Threads, m.ThreadsPerNode, m.Pthreads, opts.Steps, opts.Steps-opts.Warmup)
 	fmt.Printf("times are %s seconds\n\n", timeKind)
 	fmt.Printf("%-16s %12s %6s %12s %12s %10s\n", "phase", "t(s)", "%", "msgs", "MB", "locks")
 	total := res.Total()
@@ -191,7 +269,7 @@ func main() {
 		100*res.MigratedFraction, res.BufferCopies)
 
 	if *energy {
-		e1kin, e1pot := upcbh.Energy(res.Bodies, *eps)
+		e1kin, e1pot := upcbh.Energy(res.Bodies, opts.Eps)
 		e0, e1 := e0kin+e0pot, e1kin+e1pot
 		fmt.Printf("\nenergy: initial %.6f (T=%.6f V=%.6f)  final %.6f  drift %.3g%%\n",
 			e0, e0kin, e0pot, e1, 100*(e1-e0)/-e0)
@@ -206,19 +284,16 @@ func downstreamClosed(err error) bool {
 }
 
 // runStream drives the simulation through the steppable session engine,
-// emitting one JSON snapshot per line on w: the initial state (step 0),
-// then one every `every` steps (the final interval truncated to the
+// emitting one JSON snapshot per line on w: the current state first
+// (step 0 for a fresh run, the captured step for a restored one), then
+// one every `every` steps (the final interval truncated to the
 // schedule). It returns errors instead of exiting, and it always tears
 // the session down before returning — on success via Finish, on any
 // early exit (write error, observer gone, signal) via the deferred
 // Release, which finishes a still-paused session before recycling its
 // storage. A signal on sig ends the stream cleanly (nil error) at the
 // next step boundary.
-func runStream(w io.Writer, opts upcbh.Options, steps, every int, withBodies bool, sig <-chan os.Signal) error {
-	sim, err := upcbh.New(opts)
-	if err != nil {
-		return err
-	}
+func runStream(w io.Writer, sim *upcbh.Sim, steps, every int, withBodies bool, sig <-chan os.Signal) error {
 	defer sim.Release()
 	enc := json.NewEncoder(w)
 	emit := func() error {
@@ -235,20 +310,19 @@ func runStream(w io.Writer, opts upcbh.Options, steps, every int, withBodies boo
 		return err
 	}
 loop:
-	for done := 0; done < steps; {
+	for sim.StepsDone() < steps {
 		select {
 		case <-sig:
 			break loop
 		default:
 		}
 		k := every
-		if rem := steps - done; k > rem {
+		if rem := steps - sim.StepsDone(); k > rem {
 			k = rem
 		}
 		if err := sim.Step(k); err != nil {
 			return err
 		}
-		done += k
 		if err := emit(); err != nil {
 			return err
 		}

@@ -12,18 +12,22 @@ import (
 	"upcbh"
 )
 
-func streamOpts(t *testing.T) upcbh.Options {
+func streamSim(t *testing.T) *upcbh.Sim {
 	t.Helper()
 	opts := upcbh.DefaultOptions(256, 2, upcbh.LevelMergedBuild)
 	opts.Steps, opts.Warmup = 4, 1
-	return opts
+	sim, err := upcbh.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
 }
 
 // TestRunStreamEmitsMonotoneSnapshots: the happy path — step 0 first,
 // strictly increasing step indices, ending at -steps.
 func TestRunStreamEmitsMonotoneSnapshots(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runStream(&buf, streamOpts(t), 4, 2, false, nil); err != nil {
+	if err := runStream(&buf, streamSim(t), 4, 2, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	var steps []int
@@ -67,7 +71,7 @@ func (b *brokenPipe) Write(p []byte) (int, error) {
 // Finish/Release.
 func TestRunStreamEPIPEIsClean(t *testing.T) {
 	w := &brokenPipe{limit: 1}
-	err := runStream(w, streamOpts(t), 4, 1, false, nil)
+	err := runStream(w, streamSim(t), 4, 1, false, nil)
 	if err == nil {
 		t.Fatal("broken pipe surfaced no error to classify")
 	}
@@ -86,7 +90,7 @@ func TestRunStreamSignalStopsCleanly(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	sig <- os.Interrupt // already pending: the loop must stop before stepping further
 	var buf bytes.Buffer
-	if err := runStream(&buf, streamOpts(t), 4, 1, false, sig); err != nil {
+	if err := runStream(&buf, streamSim(t), 4, 1, false, sig); err != nil {
 		t.Fatalf("signalled stream did not stop cleanly: %v", err)
 	}
 	// Only the step-0 snapshot made it out before the signal was seen.
@@ -100,5 +104,61 @@ func TestRunStreamSignalStopsCleanly(t *testing.T) {
 	}
 	if snap.Step != 0 {
 		t.Fatalf("first snapshot at step %d, want 0", snap.Step)
+	}
+}
+
+// TestRunStreamFromRestoredSim: a restored simulation streams from its
+// captured step, and the remaining snapshot lines are byte-identical to
+// the tail of the uninterrupted stream.
+func TestRunStreamFromRestoredSim(t *testing.T) {
+	opts := upcbh.DefaultOptions(256, 2, upcbh.LevelMergedBuild)
+	opts.Steps, opts.Warmup = 4, 1
+
+	var ref bytes.Buffer
+	sim, err := upcbh.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runStream(&ref, sim, opts.Steps, 1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := upcbh.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Release()
+	if err := src.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ck.bin"
+	if err := src.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := upcbh.Restore(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := runStream(&got, restored, opts.Steps, 1, false, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	refLines := strings.Split(strings.TrimSpace(ref.String()), "\n")
+	gotLines := strings.Split(strings.TrimSpace(got.String()), "\n")
+	if len(refLines) != 5 || len(gotLines) != 3 {
+		t.Fatalf("stream lengths: uninterrupted %d, restored %d (want 5 and 3)", len(refLines), len(gotLines))
+	}
+	// The restored stream's frames are the uninterrupted stream's steps
+	// 2..4, byte for byte.
+	for i, line := range gotLines {
+		if line != refLines[i+2] {
+			t.Fatalf("restored stream frame %d diverged:\n%s\nvs\n%s", i, line, refLines[i+2])
+		}
 	}
 }

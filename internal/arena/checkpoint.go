@@ -1,0 +1,263 @@
+package arena
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Checkpoint file format (DESIGN.md §13):
+//
+//	offset 0   magic    "UPCBHCKP" (8 bytes)
+//	offset 8   version  uint32 LE
+//	offset 12  hdrLen   uint32 LE
+//	offset 16  header   hdrLen bytes of JSON (Header below)
+//	           padding  zero bytes to the next 8-byte boundary
+//	           payload  Header.PayloadLen bytes
+//
+// The payload is the concatenation of named regions, each starting at
+// an 8-byte-aligned offset *relative to the payload start* (so the
+// header's self-describing length cannot perturb region offsets), with
+// zero padding between them. Header.CRC is CRC-32C (Castagnoli) over
+// the entire payload including padding.
+//
+// The same bytes come out of the streaming writer (WriteCheckpoint)
+// and the mmap/msync writer (WriteFileCheckpoint); a test pins the two
+// byte-identical.
+
+// Magic identifies a checkpoint file.
+const Magic = "UPCBHCKP"
+
+// Version is the current layout version; readers reject anything else.
+const Version = 1
+
+// maxHeaderLen / maxPayloadLen bound what a reader will allocate while
+// parsing, so a corrupt length field cannot OOM the process.
+const (
+	maxHeaderLen  = 1 << 20
+	maxPayloadLen = 1 << 38
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Region names one contiguous byte range of the payload.
+type Region struct {
+	Name string `json:"name"`
+	Off  int64  `json:"off"` // relative to payload start; 8-aligned
+	Len  int64  `json:"len"`
+}
+
+// Header is the JSON header of a checkpoint: enough to identify what
+// simulation state follows and to validate it before touching any of
+// it.
+type Header struct {
+	Version    uint32          `json:"version"`
+	Key        string          `json:"key"`  // core.Options.Key() of the checkpointed run
+	Step       int             `json:"step"` // steps completed at checkpoint time
+	Env        json.RawMessage `json:"env,omitempty"`
+	Regions    []Region        `json:"regions"`
+	PayloadLen int64           `json:"payload_len"`
+	CRC        uint32          `json:"crc"` // CRC-32C over the payload
+}
+
+// NamedRegion is one region handed to a writer.
+type NamedRegion struct {
+	Name string
+	Data []byte
+}
+
+// Checkpoint is a parsed, validated checkpoint.
+type Checkpoint struct {
+	Header  Header
+	regions map[string][]byte
+}
+
+// Region returns the named payload region.
+func (c *Checkpoint) Region(name string) ([]byte, bool) {
+	b, ok := c.regions[name]
+	return b, ok
+}
+
+const preambleLen = 16 // magic + version + hdrLen
+
+// buildHeader lays the regions out in the payload and returns the
+// finished header plus the encoded header JSON.
+func buildHeader(key string, step int, env json.RawMessage, regions []NamedRegion) (Header, []byte, error) {
+	h := Header{Version: Version, Key: key, Step: step, Env: env}
+	var off int64
+	for _, r := range regions {
+		off = int64(roundUp(int(off), 8))
+		h.Regions = append(h.Regions, Region{Name: r.Name, Off: off, Len: int64(len(r.Data))})
+		off += int64(len(r.Data))
+	}
+	h.PayloadLen = off
+	crc := crc32.New(crcTable)
+	writePayload(crc, h.Regions, regions)
+	h.CRC = crc.Sum32()
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("arena: encode checkpoint header: %w", err)
+	}
+	if len(hdr) > maxHeaderLen {
+		return Header{}, nil, fmt.Errorf("arena: checkpoint header %d bytes exceeds limit %d", len(hdr), maxHeaderLen)
+	}
+	return h, hdr, nil
+}
+
+// writePayload streams regions with their alignment padding to w.
+// w is a hasher or a real sink; both never error for our writers'
+// destinations, so errors surface from the callers' final flush.
+func writePayload(w io.Writer, layout []Region, regions []NamedRegion) {
+	var pad [8]byte
+	var off int64
+	for i, r := range regions {
+		if gap := layout[i].Off - off; gap > 0 {
+			w.Write(pad[:gap])
+			off += gap
+		}
+		w.Write(r.Data)
+		off += int64(len(r.Data))
+	}
+}
+
+// WriteCheckpoint serializes a checkpoint to w (the streaming path:
+// heap-backed state, HTTP responses, pipes).
+func WriteCheckpoint(w io.Writer, key string, step int, env json.RawMessage, regions []NamedRegion) error {
+	h, hdr, err := buildHeader(key, step, env, regions)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	buf.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdr)))
+	buf.Write(u32[:])
+	buf.Write(hdr)
+	if pad := roundUp(buf.Len(), 8) - buf.Len(); pad > 0 {
+		buf.Write(make([]byte, pad))
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("arena: write checkpoint: %w", err)
+	}
+	cw := &countingWriter{w: w}
+	writePayload(cw, h.Regions, regions)
+	if cw.err != nil {
+		return fmt.Errorf("arena: write checkpoint payload: %w", cw.err)
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.err = err
+	return n, err
+}
+
+// WriteFileCheckpoint writes the identical bytes through a file-backed
+// mmap: map the file, copy the preamble/header/regions into the
+// mapping, msync, unmap, and trim the page-rounded tail so the file
+// matches the streaming writer byte for byte. This is the zero-copy
+// path a file-backed simulation arena would take (the pages are
+// already resident; msync + header write makes them durable).
+func WriteFileCheckpoint(path, key string, step int, env json.RawMessage, regions []NamedRegion) error {
+	h, hdr, err := buildHeader(key, step, env, regions)
+	if err != nil {
+		return err
+	}
+	payloadStart := roundUp(preambleLen+len(hdr), 8)
+	total := payloadStart + int(h.PayloadLen)
+	a, err := Create(path, total)
+	if err != nil {
+		return err
+	}
+	mem := a.Bytes()
+	copy(mem, Magic)
+	binary.LittleEndian.PutUint32(mem[8:], Version)
+	binary.LittleEndian.PutUint32(mem[12:], uint32(len(hdr)))
+	copy(mem[preambleLen:], hdr)
+	for i, r := range regions {
+		copy(mem[payloadStart+int(h.Regions[i].Off):], r.Data)
+	}
+	if err := a.Sync(); err != nil {
+		a.Close()
+		return err
+	}
+	if err := a.Close(); err != nil {
+		return fmt.Errorf("arena: unmap checkpoint %s: %w", path, err)
+	}
+	if err := os.Truncate(path, int64(total)); err != nil {
+		return fmt.Errorf("arena: trim checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses and validates a checkpoint from r: magic,
+// version, header shape, region bounds, and payload CRC all checked
+// before any region is handed to the caller. Corrupt or truncated
+// input yields a descriptive error, never a panic.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return nil, fmt.Errorf("arena: checkpoint truncated reading preamble: %w", err)
+	}
+	if string(pre[:8]) != Magic {
+		return nil, fmt.Errorf("arena: not a checkpoint (bad magic %q)", pre[:8])
+	}
+	ver := binary.LittleEndian.Uint32(pre[8:12])
+	if ver != Version {
+		return nil, fmt.Errorf("arena: unsupported checkpoint version %d (this build reads version %d)", ver, Version)
+	}
+	hdrLen := binary.LittleEndian.Uint32(pre[12:16])
+	if hdrLen == 0 || hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("arena: implausible checkpoint header length %d", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("arena: checkpoint truncated reading header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return nil, fmt.Errorf("arena: corrupt checkpoint header: %w", err)
+	}
+	if h.Version != ver {
+		return nil, fmt.Errorf("arena: checkpoint header version %d disagrees with preamble %d", h.Version, ver)
+	}
+	if h.PayloadLen < 0 || h.PayloadLen > maxPayloadLen {
+		return nil, fmt.Errorf("arena: implausible checkpoint payload length %d", h.PayloadLen)
+	}
+	if pad := roundUp(preambleLen+int(hdrLen), 8) - (preambleLen + int(hdrLen)); pad > 0 {
+		if _, err := io.CopyN(io.Discard, r, int64(pad)); err != nil {
+			return nil, fmt.Errorf("arena: checkpoint truncated reading header padding: %w", err)
+		}
+	}
+	payload := make([]byte, h.PayloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("arena: checkpoint truncated reading payload (%d bytes expected): %w", h.PayloadLen, err)
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != h.CRC {
+		return nil, fmt.Errorf("arena: checkpoint payload corrupt: CRC %08x, header says %08x", crc, h.CRC)
+	}
+	c := &Checkpoint{Header: h, regions: make(map[string][]byte, len(h.Regions))}
+	for _, reg := range h.Regions {
+		if reg.Off < 0 || reg.Len < 0 || reg.Off+reg.Len > h.PayloadLen {
+			return nil, fmt.Errorf("arena: checkpoint region %q out of bounds (off %d len %d payload %d)",
+				reg.Name, reg.Off, reg.Len, h.PayloadLen)
+		}
+		c.regions[reg.Name] = payload[reg.Off : reg.Off+reg.Len : reg.Off+reg.Len]
+	}
+	return c, nil
+}

@@ -1,0 +1,135 @@
+package arena
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleRegions() []NamedRegion {
+	return []NamedRegion{
+		{Name: "state", Data: []byte(`{"step":3}`)}, // 10 bytes: forces padding
+		{Name: "heap", Data: bytes.Repeat([]byte{0xab}, 1000)},
+		{Name: "refs", Data: []byte{}},
+		{Name: "tail", Data: []byte{1, 2, 3}},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	env := json.RawMessage(`{"goos":"linux"}`)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, "key=abc", 3, env, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header.Key != "key=abc" || c.Header.Step != 3 || c.Header.Version != Version {
+		t.Fatalf("header mismatch: %+v", c.Header)
+	}
+	if string(c.Header.Env) != `{"goos":"linux"}` {
+		t.Fatalf("env mismatch: %s", c.Header.Env)
+	}
+	for _, want := range sampleRegions() {
+		got, ok := c.Region(want.Name)
+		if !ok {
+			t.Fatalf("region %q missing", want.Name)
+		}
+		if !bytes.Equal(got, want.Data) {
+			t.Fatalf("region %q: got %d bytes, want %d", want.Name, len(got), len(want.Data))
+		}
+	}
+	// Region offsets must be 8-aligned.
+	for _, r := range c.Header.Regions {
+		if r.Off%8 != 0 {
+			t.Fatalf("region %q offset %d not 8-aligned", r.Name, r.Off)
+		}
+	}
+}
+
+// TestFileCheckpointByteIdentical pins the tentpole contract: the
+// streaming writer and the mmap/msync writer produce the same bytes.
+func TestFileCheckpointByteIdentical(t *testing.T) {
+	env := json.RawMessage(`{"goos":"linux"}`)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, "k", 7, env, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := WriteFileCheckpoint(path, "k", 7, env, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	fileBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fileBytes) {
+		t.Fatalf("stream (%d bytes) and mmap (%d bytes) checkpoints differ", buf.Len(), len(fileBytes))
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(fileBytes)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func corruptCase(t *testing.T, mutate func([]byte) []byte, wantSub string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, "k", 1, nil, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCheckpoint(bytes.NewReader(mutate(buf.Bytes())))
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not mention %q", err, wantSub)
+	}
+}
+
+func TestCheckpointRejectsBadMagic(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic")
+}
+
+func TestCheckpointRejectsVersionMismatch(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:], Version+1)
+		return b
+	}, "unsupported checkpoint version")
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte { return b[:len(b)-5] }, "truncated")
+	corruptCase(t, func(b []byte) []byte { return b[:10] }, "truncated")
+	corruptCase(t, func(b []byte) []byte { return b[:20] }, "truncated")
+}
+
+func TestCheckpointRejectsPayloadCorruption(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, "CRC")
+}
+
+func TestCheckpointRejectsImplausibleHeaderLen(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[12:], maxHeaderLen+1)
+		return b
+	}, "header length")
+}
+
+func TestCheckpointRejectsGarbageHeader(t *testing.T) {
+	corruptCase(t, func(b []byte) []byte {
+		for i := preambleLen; i < preambleLen+8; i++ {
+			b[i] = 0xfe
+		}
+		return b
+	}, "corrupt checkpoint header")
+}
+
+func TestCheckpointEmptyInput(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,52 +1,16 @@
 package bench
 
-import (
-	"os"
-	"runtime"
-	"strings"
-)
+import "upcbh/internal/hostenv"
 
 // Env is the machine stamp attached to every Report and Trajectory: the
 // facts needed to judge whether a native-mode wall-clock number means
 // anything (a 1-core container cannot show multi-core scaling — the
-// DESIGN.md §9 caveat, made machine-checkable).
-type Env struct {
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	GoVersion  string `json:"go_version"`
-	// CPUModel is the "model name" line of /proc/cpuinfo, best-effort:
-	// empty on hosts without procfs.
-	CPUModel string `json:"cpu_model,omitempty"`
-}
+// DESIGN.md §9 caveat, made machine-checkable). It now lives in
+// internal/hostenv (checkpoint headers stamp it too); this alias keeps
+// the bench API unchanged.
+type Env = hostenv.Env
 
-// CaptureEnv samples the current process environment.
-func CaptureEnv() Env {
-	return Env{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GoVersion:  runtime.Version(),
-		CPUModel:   cpuModel(),
-	}
-}
-
-// cpuModel extracts the first "model name" entry from /proc/cpuinfo.
-func cpuModel() string {
-	data, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		key, val, ok := strings.Cut(line, ":")
-		if !ok {
-			continue
-		}
-		if strings.TrimSpace(key) == "model name" {
-			return strings.TrimSpace(val)
-		}
-	}
-	return ""
-}
+// CaptureEnv samples the current process environment. The
+// /proc/cpuinfo parse is computed once per process (hostenv caches it
+// via sync.OnceValue); GOMAXPROCS/NumCPU stay live reads.
+func CaptureEnv() Env { return hostenv.Capture() }

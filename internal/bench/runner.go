@@ -61,6 +61,15 @@ type RunnerStats struct {
 	Hits       int `json:"cache_hits"`  // requests served from the cache (incl. coalesced in-flight)
 	NativeRuns int `json:"native_runs"` // subset of Runs executed exclusively in ModeNative
 	Evictions  int `json:"evictions"`   // error results evicted so the key can re-execute
+
+	// Memoize outcomes: externally produced results (stepwise runs, the
+	// session service) offered to the cache. Memoized counts those that
+	// landed; MemoizeDropped those that found the key already occupied —
+	// racing stepwise runs of one configuration, or a run the cache
+	// already completed. A dropped feed is normal, but the split makes
+	// the cache's provenance auditable instead of silently discarded.
+	Memoized       int `json:"memoized"`
+	MemoizeDropped int `json:"memoize_dropped"`
 }
 
 // Requests returns the total number of Run calls the stats describe.
@@ -238,11 +247,13 @@ func (r *Runner) Memoize(opts core.Options, res *core.Result) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.cache[key]; ok {
+		r.stats.MemoizeDropped++
 		return false
 	}
 	e := &cacheEntry{done: make(chan struct{}), res: &cached}
 	close(e.done)
 	r.cache[key] = e
+	r.stats.Memoized++
 	return true
 }
 
@@ -330,8 +341,11 @@ func (r *Runner) RunStepwise(opts core.Options, every int, observe func(*core.Sn
 
 	// Feed the cache without disturbing existing entries. The cached copy
 	// follows the KeepBodies policy; the caller's Result keeps its bodies
-	// either way.
-	r.Memoize(opts, res)
+	// either way. The outcome lands in RunnerStats (Memoized vs
+	// MemoizeDropped) so a feed lost to a racing run is visible.
+	if r.Memoize(opts, res) {
+		r.logf("stepped run memoized: %s", describe(opts))
+	}
 	return res, nil
 }
 

@@ -663,3 +663,61 @@ func TestRunnerLookupAndMemoize(t *testing.T) {
 	}
 	close(unblock)
 }
+
+// TestMemoizeOutcomeStats pins the cache-provenance accounting: every
+// Memoize outcome is visible in RunnerStats, so a cache that silently
+// dropped an externally produced result (the old RunStepwise behaviour —
+// the return value was ignored) can no longer hide. Concurrent Memoize
+// calls for one key land exactly one entry and drop the rest.
+func TestMemoizeOutcomeStats(t *testing.T) {
+	r := NewRunner(4)
+	opts := core.DefaultOptions(2048, 2, core.LevelCacheTree)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var landed atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r.Memoize(opts, &core.Result{Level: opts.Level, Threads: 2}) {
+				landed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := landed.Load(); got != 1 {
+		t.Fatalf("%d Memoize calls landed, want exactly 1", got)
+	}
+	s := r.Stats()
+	if s.Memoized != 1 || s.MemoizeDropped != callers-1 {
+		t.Fatalf("stats Memoized=%d MemoizeDropped=%d, want 1 and %d", s.Memoized, s.MemoizeDropped, callers-1)
+	}
+	if _, ok := r.Lookup(opts); !ok {
+		t.Fatal("no entry survived the concurrent Memoize storm")
+	}
+
+	// The stepped path reports through the same counters: a stepped run
+	// over a key that is already cached drops its feed (the entry is left
+	// untouched), and one over a fresh key lands it.
+	if _, err := r.RunStepwise(opts, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	s = r.Stats()
+	if s.Memoized != 1 || s.MemoizeDropped != callers {
+		t.Fatalf("after stepped run on cached key: Memoized=%d MemoizeDropped=%d, want 1 and %d",
+			s.Memoized, s.MemoizeDropped, callers)
+	}
+	fresh := stepwiseOpts()
+	if _, err := r.RunStepwise(fresh, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	s = r.Stats()
+	if s.Memoized != 2 || s.MemoizeDropped != callers {
+		t.Fatalf("after stepped run on fresh key: Memoized=%d MemoizeDropped=%d, want 2 and %d",
+			s.Memoized, s.MemoizeDropped, callers)
+	}
+	if _, hit, err := r.Run(fresh); err != nil || !hit {
+		t.Fatalf("Run after stepped feed: hit=%v err=%v, want a cache hit", hit, err)
+	}
+}

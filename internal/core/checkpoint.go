@@ -1,0 +1,346 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"unsafe"
+
+	"upcbh/internal/arena"
+	"upcbh/internal/hostenv"
+	"upcbh/internal/upc"
+)
+
+// Checkpoint/restore of a paused simulation (DESIGN.md §13).
+//
+// The state captured here is exactly what persists across a completed
+// step gate: the scheduler parks every live thread in its step state
+// with the run queue empty, no barrier or collective arrivals counted
+// and no lock held, so barrier/collective/lock-protocol state is
+// quiescent by construction and only the values below travel. Restore
+// reconstructs everything else by re-running the deterministic setup —
+// core.New + session start is a pure function of Options, reproducing
+// the heap allocation layout ref for ref — and then overwrites the
+// mutable state in place while the fresh session is paused. Under the
+// simulate backend the continuation is byte-identical to the
+// uninterrupted run (clocks, phase tables, scheduler counters and all);
+// under the native backend wall-clock timings necessarily differ and
+// the guarantee is exact physics.
+//
+// Checkpoint layout: three regions in the arena checkpoint container.
+//
+//	"state"  JSON (ckptState): Options, step counts, runtime clocks and
+//	         scheduler counters, lock horizon, shared scalars, and every
+//	         thread's persistent private state.
+//	"heap"   the bodies heap: each shard's allocated bytes [0, n),
+//	         concatenated in thread order.
+//	"refs"   each thread's owned-body reference list (raw upc.Ref
+//	         bytes), concatenated in thread order.
+
+// Region names within the checkpoint container.
+const (
+	regState = "state"
+	regHeap  = "heap"
+	regRefs  = "refs"
+)
+
+// ckptThread is one thread's persistent private state (the subset of
+// tstate that survives a step gate; scratch that every step rebuilds —
+// local trees, migration worklists, caches — is reconstructed).
+type ckptThread struct {
+	Step int `json:"step"`
+
+	// Double-buffer geometry: the buffers' heap refs and occupancy.
+	// Captured rather than recomputed because subspace redistribution
+	// may have grown the buffers mid-run.
+	Buf    [2]upc.Ref `json:"buf"`
+	BufCap int        `json:"buf_cap"`
+	Cur    int        `json:"cur"`
+	CurLen int        `json:"cur_len"`
+	NOwned int        `json:"n_owned"` // myBodies length; slices the refs region
+
+	// Replicated scalars.
+	Tol  float64  `json:"tol"`
+	Eps  float64  `json:"eps"`
+	Geom rootGeom `json:"geom"`
+	Root NodeRef  `json:"root"`
+
+	// FlatEpoch is the native snapshot epoch this thread expects next
+	// (flatnative.go); restoring it keeps the epoch assertions sound.
+	FlatEpoch uint64 `json:"flat_epoch,omitempty"`
+
+	// Accumulated counters (measured steps).
+	Inter        uint64  `json:"inter"`
+	Migrated     int     `json:"migrated"`
+	OwnedTot     int     `json:"owned_tot"`
+	BufCopies    int     `json:"buf_copies"`
+	CellsCopied  uint64  `json:"cells_copied"`
+	CellsAliased uint64  `json:"cells_aliased"`
+	TreeLocalT   float64 `json:"tree_local_t"`
+	TreeMergeT   float64 `json:"tree_merge_t"`
+
+	Phases    PhaseTimes           `json:"phases"`
+	StepPh    []PhaseTimes         `json:"step_ph"`
+	PhaseComm [NumPhases]upc.Stats `json:"phase_comm"`
+}
+
+// ckptState is the JSON "state" region.
+type ckptState struct {
+	Options   Options          `json:"options"`
+	StepsDone int              `json:"steps_done"`
+	Runtime   upc.RuntimeState `json:"runtime"`
+	Locks     []float64        `json:"locks"`
+
+	// UPC shared scalars (affinity thread 0).
+	TolS  float64  `json:"tol_s"`
+	EpsS  float64  `json:"eps_s"`
+	GeomS rootGeom `json:"geom_s"`
+	RootS NodeRef  `json:"root_s"`
+
+	// HeapLens[i] is the element count of bodies shard i; together with
+	// the element size it slices the heap region.
+	HeapLens []int32 `json:"heap_lens"`
+
+	Threads []ckptThread `json:"threads"`
+}
+
+// Checkpoint serializes the paused simulation to w in the versioned
+// arena checkpoint format. Legal at any step gate (a fresh Sim is
+// started and checkpointed before step 0); a finished or released Sim
+// cannot be checkpointed. The simulation is not perturbed: every read
+// is a copy taken while the runtime is quiescent.
+func (s *Sim) Checkpoint(w io.Writer) error {
+	regions, err := s.checkpointRegions()
+	if err != nil {
+		return err
+	}
+	return arena.WriteCheckpoint(w, s.o.Key(), s.stepsDone, captureEnv(), regions)
+}
+
+// CheckpointFile writes the checkpoint through a file-backed mmap
+// (arena.WriteFileCheckpoint): the msync-based zero-copy path,
+// byte-identical to what Checkpoint streams.
+func (s *Sim) CheckpointFile(path string) error {
+	regions, err := s.checkpointRegions()
+	if err != nil {
+		return err
+	}
+	return arena.WriteFileCheckpoint(path, s.o.Key(), s.stepsDone, captureEnv(), regions)
+}
+
+func captureEnv() json.RawMessage {
+	env, err := json.Marshal(hostenv.Capture())
+	if err != nil {
+		return nil
+	}
+	return env
+}
+
+func (s *Sim) checkpointRegions() ([]arena.NamedRegion, error) {
+	switch s.state {
+	case simNew:
+		s.start()
+	case simPaused:
+	case simFinished:
+		return nil, fmt.Errorf("core: Checkpoint on a finished Sim: %w", ErrFinished)
+	case simReleased:
+		return nil, fmt.Errorf("core: Checkpoint on a released Sim: %w", ErrReleased)
+	}
+	p := s.rt.Threads()
+	cs := ckptState{
+		Options:   s.o,
+		StepsDone: s.stepsDone,
+		Runtime:   s.rt.CaptureState(),
+		Locks:     s.locks.CaptureAvail(),
+		TolS:      s.tolS.Peek(),
+		EpsS:      s.epsS.Peek(),
+		GeomS:     s.geomS.Peek(),
+		RootS:     s.rootS.Peek(),
+		HeapLens:  make([]int32, p),
+		Threads:   make([]ckptThread, p),
+	}
+	var heap, refs []byte
+	for i, st := range s.ts {
+		cs.HeapLens[i] = int32(s.bodies.Len(i))
+		heap = s.bodies.CaptureShard(i, heap)
+		refs = appendRefBytes(refs, st.myBodies)
+		cs.Threads[i] = ckptThread{
+			Step:         st.step,
+			Buf:          st.buf,
+			BufCap:       st.bufCap,
+			Cur:          st.cur,
+			CurLen:       st.curLen,
+			NOwned:       len(st.myBodies),
+			Tol:          st.tol,
+			Eps:          st.eps,
+			Geom:         st.geom,
+			Root:         st.root,
+			FlatEpoch:    st.flatEpoch,
+			Inter:        st.inter,
+			Migrated:     st.migrated,
+			OwnedTot:     st.ownedTot,
+			BufCopies:    st.bufCopies,
+			CellsCopied:  st.cellsCopied,
+			CellsAliased: st.cellsAliased,
+			TreeLocalT:   st.treeLocalT,
+			TreeMergeT:   st.treeMergeT,
+			Phases:       st.phases,
+			StepPh:       st.stepPh,
+			PhaseComm:    st.phaseComm,
+		}
+	}
+	state, err := json.Marshal(&cs)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode checkpoint state: %w", err)
+	}
+	return []arena.NamedRegion{
+		{Name: regState, Data: state},
+		{Name: regHeap, Data: heap},
+		{Name: regRefs, Data: refs},
+	}, nil
+}
+
+const refBytes = int(unsafe.Sizeof(upc.Ref{}))
+
+func appendRefBytes(buf []byte, refs []upc.Ref) []byte {
+	if len(refs) == 0 {
+		return buf
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&refs[0])), len(refs)*refBytes)
+	return append(buf, b...)
+}
+
+// Restore reconstructs a paused simulation from a checkpoint written by
+// Checkpoint/CheckpointFile. The returned Sim is paused at the
+// checkpointed step: Step, Snapshot, Run, Finish, Release — and another
+// Checkpoint — are all legal, and under the simulate backend the
+// continuation is byte-identical to the run the checkpoint interrupted.
+// Corrupt, truncated or incompatible input yields an error, never a
+// partially restored Sim.
+func Restore(r io.Reader) (*Sim, error) {
+	c, err := arena.ReadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	state, ok := c.Region(regState)
+	if !ok {
+		return nil, fmt.Errorf("core: checkpoint has no %q region", regState)
+	}
+	var cs ckptState
+	if err := json.Unmarshal(state, &cs); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint state: %w", err)
+	}
+	if key := cs.Options.Key(); key != c.Header.Key {
+		return nil, fmt.Errorf("core: checkpoint key mismatch: header says %q, state decodes to %q", c.Header.Key, key)
+	}
+	if cs.StepsDone != c.Header.Step {
+		return nil, fmt.Errorf("core: checkpoint step mismatch: header says %d, state says %d", c.Header.Step, cs.StepsDone)
+	}
+	heap, ok := c.Region(regHeap)
+	if !ok {
+		return nil, fmt.Errorf("core: checkpoint has no %q region", regHeap)
+	}
+	refs, ok := c.Region(regRefs)
+	if !ok {
+		return nil, fmt.Errorf("core: checkpoint has no %q region", regRefs)
+	}
+	s, err := New(cs.Options)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint options rejected: %w", err)
+	}
+	if err := s.restoreState(&cs, heap, refs); err != nil {
+		s.Release()
+		return nil, err
+	}
+	return s, nil
+}
+
+// restoreState overwrites the freshly constructed Sim's state with the
+// captured snapshot. The fresh session has run setup and parked before
+// step 0, so the heap allocation layout is the checkpointed run's
+// setup-time layout; shards the checkpointed run grew past it are
+// extended first, then every mutable byte is replaced.
+func (s *Sim) restoreState(cs *ckptState, heap, refs []byte) error {
+	p := s.rt.Threads()
+	if len(cs.Threads) != p || len(cs.HeapLens) != p {
+		return fmt.Errorf("core: checkpoint carries %d thread states for a %d-thread machine", len(cs.Threads), p)
+	}
+	if cs.StepsDone < 0 || cs.StepsDone > s.o.Steps {
+		return fmt.Errorf("core: checkpoint at step %d outside the configured %d-step schedule", cs.StepsDone, s.o.Steps)
+	}
+	s.start()
+	if err := s.rt.RestoreState(cs.Runtime); err != nil {
+		return err
+	}
+	if err := s.locks.RestoreAvail(cs.Locks); err != nil {
+		return err
+	}
+	s.tolS.Poke(cs.TolS)
+	s.epsS.Poke(cs.EpsS)
+	s.geomS.Poke(cs.GeomS)
+	s.rootS.Poke(cs.RootS)
+
+	elem := s.bodies.ElemSize()
+	var heapOff, refsOff int
+	for i, st := range s.ts {
+		tc := &cs.Threads[i]
+		n := int(cs.HeapLens[i])
+		if cur := s.bodies.Len(i); cur > n {
+			return fmt.Errorf("core: checkpoint shard %d holds %d bodies but fresh setup allocated %d — incompatible layout", i, n, cur)
+		}
+		if err := s.bodies.GrowShard(i, cs.HeapLens[i]); err != nil {
+			return err
+		}
+		nb := n * elem
+		if heapOff+nb > len(heap) {
+			return fmt.Errorf("core: checkpoint heap region truncated (shard %d needs %d bytes, %d left)", i, nb, len(heap)-heapOff)
+		}
+		if err := s.bodies.RestoreShard(i, heap[heapOff:heapOff+nb]); err != nil {
+			return err
+		}
+		heapOff += nb
+
+		if tc.NOwned < 0 || refsOff+tc.NOwned*refBytes > len(refs) {
+			return fmt.Errorf("core: checkpoint refs region truncated (thread %d owns %d bodies)", i, tc.NOwned)
+		}
+		st.myBodies = st.myBodies[:0]
+		for j := 0; j < tc.NOwned; j++ {
+			r := *(*upc.Ref)(unsafe.Pointer(&refs[refsOff+j*refBytes]))
+			if int(r.Thr) < 0 || int(r.Thr) >= p || r.Idx < 0 || r.Idx >= cs.HeapLens[r.Thr] {
+				return fmt.Errorf("core: checkpoint body ref %v out of range", r)
+			}
+			st.myBodies = append(st.myBodies, r)
+		}
+		refsOff += tc.NOwned * refBytes
+
+		st.step = tc.Step
+		st.buf = tc.Buf
+		st.bufCap = tc.BufCap
+		st.cur = tc.Cur
+		st.curLen = tc.CurLen
+		st.tol = tc.Tol
+		st.eps = tc.Eps
+		st.geom = tc.Geom
+		st.root = tc.Root
+		st.flatEpoch = tc.FlatEpoch
+		st.inter = tc.Inter
+		st.migrated = tc.Migrated
+		st.ownedTot = tc.OwnedTot
+		st.bufCopies = tc.BufCopies
+		st.cellsCopied = tc.CellsCopied
+		st.cellsAliased = tc.CellsAliased
+		st.treeLocalT = tc.TreeLocalT
+		st.treeMergeT = tc.TreeMergeT
+		st.phases = tc.Phases
+		st.stepPh = append(st.stepPh[:0], tc.StepPh...)
+		st.phaseComm = tc.PhaseComm
+	}
+	if heapOff != len(heap) {
+		return fmt.Errorf("core: checkpoint heap region has %d trailing bytes", len(heap)-heapOff)
+	}
+	if refsOff != len(refs) {
+		return fmt.Errorf("core: checkpoint refs region has %d trailing bytes", len(refs)-refsOff)
+	}
+	s.stepsDone = cs.StepsDone
+	return nil
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"upcbh/internal/arena"
+)
+
+// checkpointAt runs opts for k steps, checkpoints, and returns the
+// checkpoint bytes plus the still-paused source Sim (caller releases).
+func checkpointAt(t *testing.T, opts Options, k int) ([]byte, *Sim) {
+	t.Helper()
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 0 {
+		if err := sim.Step(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sim
+}
+
+// TestCheckpointRestoreEquivalence is the restore-equivalence matrix:
+// checkpoint mid-run, restore, and demand that the restored simulation
+// completes the schedule exactly as the uninterrupted run — and that
+// taking the checkpoint did not perturb the source simulation either.
+// Under the simulate backend "exactly" is byte-identical Results (phase
+// tables, clocks, scheduler counters, final bodies); under native,
+// wall-clock timings differ and the physics must agree (exact at one
+// thread, FP-reordering tolerance above).
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	cases := []struct {
+		level   Level
+		mode    ExecMode
+		threads int
+		scen    string
+	}{
+		{LevelBaseline, ModeSimulate, 4, "plummer"},
+		{LevelRedistribute, ModeSimulate, 4, "clustered"},
+		{LevelMergedBuild, ModeSimulate, 4, "plummer"},
+		{LevelMergedBuild, ModeSimulate, 4, "clustered"},
+		{LevelSubspace, ModeSimulate, 4, "plummer"},
+		{LevelMergedBuild, ModeNative, 1, "plummer"},
+		{LevelMergedBuild, ModeNative, 4, "clustered"},
+		{LevelSubspace, ModeNative, 4, "plummer"},
+	}
+	if testing.Short() {
+		cases = cases[:3]
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("%s/%s/p%d/%s", c.level, c.mode, c.threads, c.scen), func(t *testing.T) {
+			opts := DefaultOptions(512, c.threads, c.level)
+			opts.Scenario = c.scen
+			opts.Steps, opts.Warmup = 4, 1
+			opts.ExecMode = c.mode
+			ref := runOnce(t, opts)
+
+			ckpt, src := checkpointAt(t, opts, 2)
+			defer src.Release()
+
+			restored, err := Restore(bytes.NewReader(ckpt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer restored.Release()
+			if restored.StepsDone() != 2 {
+				t.Fatalf("restored sim at step %d, want 2", restored.StepsDone())
+			}
+
+			// The checkpoint must not have perturbed the source run.
+			srcRes, err := src.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRes, err := restored.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if c.mode == ModeSimulate {
+				refFp := resultFingerprint(t, ref)
+				if fp := resultFingerprint(t, srcRes); fp != refFp {
+					t.Fatalf("checkpoint perturbed the source run:\n%.300s\nvs\n%.300s", fp, refFp)
+				}
+				if fp := resultFingerprint(t, gotRes); fp != refFp {
+					t.Fatalf("restored run diverged from the uninterrupted run:\n%.300s\nvs\n%.300s", fp, refFp)
+				}
+				sameBodies(t, gotRes.Bodies, ref.Bodies)
+				return
+			}
+			if c.threads == 1 {
+				sameBodies(t, gotRes.Bodies, ref.Bodies)
+				return
+			}
+			worstPos, worstVel := comparePhysics(t, gotRes, ref)
+			if worstPos > 1e-6 || worstVel > 1e-6 {
+				t.Fatalf("restored native physics drifted: pos %g vel %g", worstPos, worstVel)
+			}
+		})
+	}
+}
+
+// TestCheckpointSnapshotAgrees: a snapshot of the restored simulation
+// is byte-identical to a snapshot of the source at the same pause
+// (simulate backend).
+func TestCheckpointSnapshotAgrees(t *testing.T) {
+	opts := DefaultOptions(512, 4, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 4, 1
+	ckpt, src := checkpointAt(t, opts, 2)
+	defer src.Release()
+	restored, err := Restore(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Release()
+	want, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if !bytes.Equal(wj, gj) {
+		t.Fatalf("restored snapshot differs from source snapshot:\n%.400s\nvs\n%.400s", gj, wj)
+	}
+}
+
+// TestCheckpointFileByteIdentical: the streaming and mmap/msync
+// checkpoint writers emit the same bytes for a real simulation.
+func TestCheckpointFileByteIdentical(t *testing.T) {
+	opts := DefaultOptions(256, 2, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 3, 1
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Release()
+	if err := sim.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if err := sim.Checkpoint(&stream); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sim.ckpt")
+	if err := sim.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), file) {
+		t.Fatalf("stream (%d bytes) and mmap (%d bytes) checkpoints differ", stream.Len(), len(file))
+	}
+	restored, err := Restore(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Release()
+}
+
+// TestCheckpointStepZeroAndReuse: a checkpoint before the first step
+// restores, and a restored sim can itself be checkpointed again.
+func TestCheckpointStepZeroAndReuse(t *testing.T) {
+	opts := DefaultOptions(256, 2, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 3, 1
+	ckpt, src := checkpointAt(t, opts, 0)
+	src.Release()
+	restored, err := Restore(bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := restored.Checkpoint(&again); err != nil {
+		t.Fatal(err)
+	}
+	restored.Release()
+	second, err := Restore(bytes.NewReader(again.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Release()
+	if second.StepsDone() != 1 {
+		t.Fatalf("re-checkpointed sim restored at step %d, want 1", second.StepsDone())
+	}
+	if _, err := second.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointLifecycleErrors: finished and released Sims refuse to
+// checkpoint with the lifecycle sentinels.
+func TestCheckpointLifecycleErrors(t *testing.T) {
+	opts := DefaultOptions(256, 2, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 2, 1
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Error("checkpoint of a finished Sim accepted")
+	}
+	sim.Release()
+	if err := sim.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Error("checkpoint of a released Sim accepted")
+	}
+}
+
+// TestRestoreRejects: corrupted, mismatched or garbage checkpoints are
+// rejected with descriptive errors, never a crash or a half-restored
+// Sim.
+func TestRestoreRejects(t *testing.T) {
+	opts := DefaultOptions(256, 2, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 2, 1
+	ckpt, src := checkpointAt(t, opts, 1)
+	defer src.Release()
+
+	expectErr := func(name string, b []byte, wantSub string) {
+		t.Helper()
+		s, err := Restore(bytes.NewReader(b))
+		if err == nil {
+			s.Release()
+			t.Fatalf("%s: accepted", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	expectErr("garbage", []byte("not a checkpoint at all........."), "bad magic")
+	expectErr("empty", nil, "truncated")
+
+	truncated := append([]byte(nil), ckpt...)
+	expectErr("truncated", truncated[:len(truncated)-10], "truncated")
+
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len(flipped)-1] ^= 0xff
+	expectErr("payload corruption", flipped, "CRC")
+
+	// A header whose key disagrees with the embedded Options.
+	regions, err := src.checkpointRegions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrongKey bytes.Buffer
+	if err := arena.WriteCheckpoint(&wrongKey, "bogus-key", src.StepsDone(), nil, regions); err != nil {
+		t.Fatal(err)
+	}
+	expectErr("key mismatch", wrongKey.Bytes(), "key mismatch")
+
+	// A header whose step disagrees with the embedded state.
+	var wrongStep bytes.Buffer
+	if err := arena.WriteCheckpoint(&wrongStep, src.Options().Key(), src.StepsDone()+1, nil, regions); err != nil {
+		t.Fatal(err)
+	}
+	expectErr("step mismatch", wrongStep.Bytes(), "step mismatch")
+}
+
+// TestCheckpointRestoreFreshProcess re-executes the test binary so the
+// restore happens in a process that never saw the original run: the
+// child restores from a checkpoint file and prints the fingerprint of
+// its completed Result, which must match the parent's uninterrupted
+// run byte for byte (simulate backend).
+func TestCheckpointRestoreFreshProcess(t *testing.T) {
+	opts := DefaultOptions(512, 4, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 4, 1
+
+	if path := os.Getenv("UPCBH_CKPT_RESTORE"); path != "" {
+		// Child: restore, finish the schedule, print the fingerprint.
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sim, err := Restore(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sim.Release()
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("FINGERPRINT %s\n", resultFingerprint(t, res))
+		return
+	}
+
+	ref := runOnce(t, opts)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mid.ckpt")
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckpointFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sim.Release()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "^TestCheckpointRestoreFreshProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), "UPCBH_CKPT_RESTORE="+path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process failed: %v\n%s", err, out)
+	}
+	var got string
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "FINGERPRINT "); ok {
+			got = rest
+			break
+		}
+	}
+	if got == "" {
+		t.Fatalf("child printed no fingerprint:\n%s", out)
+	}
+	if want := resultFingerprint(t, ref); got != want {
+		t.Fatalf("fresh-process restore diverged from the uninterrupted run:\n%.300s\nvs\n%.300s", got, want)
+	}
+}
+
+// TestSnapshotMetaNoBodyGather pins satellite 1: SnapshotMeta carries
+// the same metadata as Snapshot but skips the O(n) body gather and
+// allocates only fixed-size metadata.
+func TestSnapshotMetaNoBodyGather(t *testing.T) {
+	opts := DefaultOptions(4096, 4, LevelMergedBuild)
+	opts.Steps, opts.Warmup = 3, 1
+	sim, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Release()
+	if err := sim.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := sim.SnapshotMeta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Bodies != nil {
+		t.Fatalf("SnapshotMeta gathered %d bodies", len(meta.Bodies))
+	}
+	full, err := sim.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Bodies) != opts.Bodies {
+		t.Fatalf("Snapshot gathered %d bodies, want %d", len(full.Bodies), opts.Bodies)
+	}
+	full.Bodies = nil
+	mj, _ := json.Marshal(meta)
+	fj, _ := json.Marshal(full)
+	if !bytes.Equal(mj, fj) {
+		t.Fatalf("SnapshotMeta disagrees with Snapshot metadata:\n%.300s\nvs\n%.300s", mj, fj)
+	}
+	// Fixed-size metadata only: a handful of allocations (the snapshot
+	// struct, the clocks and step-phase slices), independent of n.
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sim.SnapshotMeta(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("SnapshotMeta allocates %v objects per call; body-independent metadata should need ~5", allocs)
+	}
+}

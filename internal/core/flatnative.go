@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"upcbh/internal/arena"
 	"upcbh/internal/octree"
 	"upcbh/internal/upc"
 )
@@ -125,7 +126,7 @@ func (s *Sim) flattenGlobal(t *upc.Thread, st *tstate, sn *flatSnap) {
 	for thr := range sn.leafIdx {
 		n := s.bodies.Len(thr)
 		if cap(sn.leafIdx[thr]) < n {
-			sn.leafIdx[thr] = make([]int32, n)
+			sn.leafIdx[thr] = arena.MakeSlice[int32](s.mem, n, n)
 		}
 		shard := sn.leafIdx[thr][:n]
 		for i := range shard {
@@ -145,8 +146,10 @@ func (s *Sim) flattenCell(sn *flatSnap, r upc.Ref) int32 {
 	c := s.cells.Raw(r)
 	idx := int32(len(ft.Nodes))
 	l := 2 * c.Half
-	ft.Nodes = append(ft.Nodes, octree.FlatNode{CofM: c.CofM, Mass: c.Mass, LSq: l * l})
-	ft.Meta = append(ft.Meta, octree.FlatMeta{Center: c.Center, Half: c.Half, Cost: c.Cost, N: c.NSub})
+	// Growth goes through the Sim's snapshot arena (thread 0 is the
+	// only builder); at steady state these appends stay in place.
+	ft.Nodes = arena.Append(s.mem, ft.Nodes, octree.FlatNode{CofM: c.CofM, Mass: c.Mass, LSq: l * l})
+	ft.Meta = arena.Append(s.mem, ft.Meta, octree.FlatMeta{Center: c.Center, Half: c.Half, Cost: c.Cost, N: c.NSub})
 
 	first := int32(len(ft.Kids))
 	nkids := int32(0)
@@ -156,7 +159,7 @@ func (s *Sim) flattenCell(sn *flatSnap, r upc.Ref) int32 {
 		}
 	}
 	for k := int32(0); k < nkids; k++ {
-		ft.Kids = append(ft.Kids, 0)
+		ft.Kids = arena.Append(s.mem, ft.Kids, 0)
 	}
 	ft.Nodes[idx].First = first
 	ft.Nodes[idx].Count = nkids
@@ -173,7 +176,7 @@ func (s *Sim) flattenCell(sn *flatSnap, r upc.Ref) int32 {
 			bi := int32(ft.Bodies.Len())
 			ft.Bodies.Resize(int(bi) + 1)
 			ft.Bodies.Set(int(bi), b.Pos, b.Mass, b.Cost, b.ID)
-			ft.PM = append(ft.PM, octree.PosMass{Pos: b.Pos, Mass: b.Mass})
+			ft.PM = arena.Append(s.mem, ft.PM, octree.PosMass{Pos: b.Pos, Mass: b.Mass})
 			sn.leafIdx[br.Thr][br.Idx] = bi + 1
 			ft.Kids[ki] = octree.FlatLeaf(bi)
 		} else {

@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"upcbh/internal/upc"
 )
@@ -116,6 +117,37 @@ func TestNativeSteadyStateZeroAlloc(t *testing.T) {
 			t.Errorf("step %d allocated %d objects in steady state, want 0", i, d)
 		}
 	}
+
+	// Off-heap claim: the flat arenas exist, were consumed, and the hot
+	// arrays of the published snapshot live inside the mmap region —
+	// GC-invisible — rather than on the Go heap.
+	if sim.mem == nil {
+		t.Fatal("native sim has no flat arena")
+	}
+	if sim.mem.Used() == 0 {
+		t.Error("global flat arena unused")
+	}
+	if sim.tmem[0] == nil || sim.tmem[0].Used() == 0 {
+		t.Error("thread-local flat arena unused")
+	}
+	sn := sim.flat.cur.Load()
+	if sn == nil {
+		t.Fatal("no published flat snapshot after the run")
+	}
+	mem := sim.mem.Bytes()
+	lo := uintptr(unsafe.Pointer(&mem[0]))
+	hi := lo + uintptr(len(mem))
+	inArena := func(name string, p unsafe.Pointer) {
+		if a := uintptr(p); a < lo || a >= hi {
+			t.Errorf("snapshot array %s at %#x is outside the arena [%#x,%#x)", name, a, lo, hi)
+		}
+	}
+	inArena("Nodes", unsafe.Pointer(&sn.ft.Nodes[0]))
+	inArena("Meta", unsafe.Pointer(&sn.ft.Meta[0]))
+	inArena("Kids", unsafe.Pointer(&sn.ft.Kids[0]))
+	inArena("PM", unsafe.Pointer(&sn.ft.PM[0]))
+	inArena("Bodies.Pos", unsafe.Pointer(&sn.ft.Bodies.Pos[0]))
+	inArena("Bodies.Mass", unsafe.Pointer(&sn.ft.Bodies.Mass[0]))
 }
 
 // TestNativeFlatSnapshotCoversTree cross-checks the snapshot against the

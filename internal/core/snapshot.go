@@ -58,6 +58,25 @@ type Snapshot struct {
 // has been recycled. Taking a snapshot never perturbs the simulation:
 // the runtime is quiescent at a pause, and every read here is a copy.
 func (s *Sim) Snapshot() (*Snapshot, error) {
+	snap, err := s.SnapshotMeta()
+	if err != nil {
+		return nil, err
+	}
+	bodies, err := s.gatherBodies()
+	if err != nil {
+		return nil, err
+	}
+	snap.Bodies = bodies
+	return snap, nil
+}
+
+// SnapshotMeta is Snapshot without the body state: step counters,
+// clocks, and the accumulated phase tables, with Bodies left nil. The
+// full-body gather is the O(n log n) bulk of a Snapshot (copy every
+// body, sort by ID); callers that only report progress — the session
+// service's step responses, metadata-only stream frames — use this
+// path, which allocates only the fixed-size metadata.
+func (s *Sim) SnapshotMeta() (*Snapshot, error) {
 	switch s.state {
 	case simNew:
 		s.start()
@@ -98,10 +117,5 @@ func (s *Sim) Snapshot() (*Snapshot, error) {
 	for _, ph := range snap.StepPhases {
 		snap.Phases.Add(ph)
 	}
-	bodies, err := s.gatherBodies()
-	if err != nil {
-		return nil, err
-	}
-	snap.Bodies = bodies
 	return snap, nil
 }

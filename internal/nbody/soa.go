@@ -1,6 +1,9 @@
 package nbody
 
-import "upcbh/internal/vec"
+import (
+	"upcbh/internal/arena"
+	"upcbh/internal/vec"
+)
 
 // SoA is a structure-of-arrays view of a body set: the hot read-only
 // inputs of tree construction and force computation (position, mass,
@@ -17,10 +20,20 @@ type SoA struct {
 	Mass []float64
 	Cost []float64
 	ID   []int32
+
+	// mem, when set via SetArena, backs all growth: the component
+	// arrays live in off-heap (GC-invisible) mmap memory. All element
+	// types are pointer-free, so the collector never needs to see them.
+	mem *arena.Arena
 }
 
 // Len returns the number of bodies in the view.
 func (s *SoA) Len() int { return len(s.Pos) }
+
+// SetArena directs all future growth of the view onto a: existing
+// contents are preserved (they migrate on the next growing Resize). A
+// nil arena reverts to Go-heap growth.
+func (s *SoA) SetArena(a *arena.Arena) { s.mem = a }
 
 // Resize sets the view's length to n, reusing capacity when possible and
 // preserving existing slots on growth. Newly exposed slots are
@@ -31,10 +44,10 @@ func (s *SoA) Resize(n int) {
 		if c < n {
 			c = n
 		}
-		pos := make([]vec.V3, n, c)
-		mass := make([]float64, n, c)
-		cost := make([]float64, n, c)
-		id := make([]int32, n, c)
+		pos := arena.MakeSlice[vec.V3](s.mem, n, c)
+		mass := arena.MakeSlice[float64](s.mem, n, c)
+		cost := arena.MakeSlice[float64](s.mem, n, c)
+		id := arena.MakeSlice[int32](s.mem, n, c)
 		copy(pos, s.Pos)
 		copy(mass, s.Mass)
 		copy(cost, s.Cost)

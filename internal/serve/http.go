@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -40,8 +42,10 @@ type errorBody struct {
 // Handler returns the service's HTTP mux:
 //
 //	POST   /sims            create a session (cache-aware)
+//	POST   /sims/restore    create a session from a checkpoint container
 //	GET    /sims/{id}       session status
 //	POST   /sims/{id}/step  advance ?k= steps (default 1), return the snapshot
+//	POST   /sims/{id}/checkpoint  serialize the paused state (octet-stream)
 //	GET    /sims/{id}/snapshot  current state (?bodies=1 to include bodies)
 //	GET    /sims/{id}/stream    NDJSON snapshot stream (?every=, ?bodies=1)
 //	GET    /sims/{id}/result    final Result (finishing the session if paused)
@@ -51,8 +55,10 @@ type errorBody struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sims", s.handleCreate)
+	mux.HandleFunc("POST /sims/restore", s.handleRestore)
 	mux.HandleFunc("GET /sims/{id}", s.handleStatus)
 	mux.HandleFunc("POST /sims/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /sims/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /sims/{id}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /sims/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sims/{id}/result", s.handleResult)
@@ -216,12 +222,13 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
+	wantBodies := r.URL.Query().Get("bodies") != ""
 	var (
 		snap    *core.Snapshot
 		stepErr error
 	)
 	t, err := s.submit(sess.shard, func() {
-		snap, stepErr = s.stepLocked(sess, k)
+		snap, stepErr = s.stepLocked(sess, k, wantBodies)
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -234,12 +241,86 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	// snap was published to the session's hub: stream subscribers may be
 	// encoding it concurrently, so strip bodies on a copy, never in place.
-	if r.URL.Query().Get("bodies") == "" {
+	// (A subscriber-free step took the bodies-less SnapshotMeta path and
+	// has nothing to strip.)
+	if !wantBodies && snap.Bodies != nil {
 		c := *snap
 		c.Bodies = nil
 		snap = &c
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// maxCheckpointBytes bounds the POST /sims/restore request body: a
+// checkpoint is dominated by the body heap (~200 B per body), so a 1 GiB
+// cap admits far larger simulations than the service would ever step
+// while keeping a hostile upload from exhausting memory.
+const maxCheckpointBytes = 1 << 30
+
+// handleCheckpoint serializes a live session's paused state as one
+// checkpoint container (application/octet-stream). The capture runs on
+// the session's shard loop — the same serialization domain as stepping,
+// so the state is quiescent — into a memory buffer, so a slow client
+// never holds the shard. Cache-hit and finished sessions have no live
+// paused simulation to capture and answer 409.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var (
+		buf     bytes.Buffer
+		step    int
+		ckptErr error
+	)
+	t, err := s.submit(sess.shard, func() {
+		switch {
+		case sess.released:
+			ckptErr = core.ErrReleased
+		case sess.sim == nil:
+			ckptErr = fmt.Errorf("session %s was served from cache and has no live simulation: %w",
+				sess.id, core.ErrFinished)
+		default:
+			step = sess.sim.StepsDone()
+			ckptErr = sess.sim.Checkpoint(&buf)
+		}
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	<-t.done
+	if ckptErr != nil {
+		writeErr(w, ckptErr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Checkpoint-Step", strconv.Itoa(step))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleRestore creates a session from a checkpoint container uploaded
+// as the request body: the restored simulation resumes at its captured
+// step and then behaves like any live session (step, stream, result,
+// checkpoint again). A malformed, corrupted, or mismatched container is
+// the client's fault: 400 with the validation error.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad checkpoint body: " + err.Error()})
+		return
+	}
+	_, si, err := s.restoreSession(data)
+	if err != nil {
+		if errors.Is(err, errBusy) || errors.Is(err, errDraining) {
+			writeErr(w, err)
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, si)
 }
 
 // snapshotOf captures a session's current state on its shard loop,

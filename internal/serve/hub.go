@@ -105,6 +105,15 @@ func (h *hub) close() {
 	}
 }
 
+// subscriberCount reports the number of attached consumers. Stream
+// subscriptions are taken on the session's shard loop, so a shard task
+// that checks the count and then publishes sees a stable value.
+func (h *hub) subscriberCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
 // droppedCount returns the total snapshots lost to the drop policy.
 func (h *hub) droppedCount() uint64 {
 	h.mu.Lock()

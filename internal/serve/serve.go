@@ -23,6 +23,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -257,6 +258,74 @@ func (s *Server) createSession(opts core.Options) (*session, sessionInfo, error)
 	return sess, si, nil
 }
 
+// restoreSession admits a session rebuilt from a checkpoint container
+// (POST /sims/restore): core.Restore reconstructs the paused core.Sim at
+// its captured step on the shard loop, and the session resumes exactly
+// where the checkpointed run paused — stepping, streaming, and the final
+// Result are byte-identical to the uninterrupted run. Restores never
+// consult the result cache: the point of restoring is the live,
+// resumable simulation (its completed Result still feeds the cache
+// through the ordinary finalize path).
+func (s *Server) restoreSession(data []byte) (*session, sessionInfo, error) {
+	var si sessionInfo
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, si, errDraining
+	}
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	s.mu.Unlock()
+
+	sess := &session{
+		id:      id,
+		shard:   s.shards[shardFor(id, len(s.shards))],
+		hub:     newHub(),
+		created: time.Now(),
+	}
+	var buildErr error
+	t, err := s.submit(sess.shard, func() {
+		sim, err := core.Restore(bytes.NewReader(data))
+		if err != nil {
+			buildErr = err
+			return
+		}
+		sess.sim = sim
+		sess.opts = sim.Options()
+		sess.key = sess.opts.Key()
+		s.logf("session %s: restored at step %d (%s)", id, sim.StepsDone(), sess.key)
+		si = sessionInfo{
+			ID:    sess.id,
+			Key:   sess.key,
+			Shard: sess.shard.id,
+			Steps: sess.opts.Steps,
+			Done:  sim.StepsDone(),
+		}
+	})
+	if err != nil {
+		return nil, si, err
+	}
+	<-t.done
+	if buildErr != nil {
+		return nil, si, buildErr
+	}
+
+	// Same registration race as createSession: either the session lands
+	// in the registry before Shutdown's sweep, or we observe draining and
+	// tear down the unregistered Sim ourselves.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		sess.sim.Release()
+		sess.hub.close()
+		return nil, si, errDraining
+	}
+	s.sessions[id] = sess
+	s.created++
+	s.mu.Unlock()
+	return sess, si, nil
+}
+
 // finalizeLocked completes a session whose schedule has run out (or a
 // cache-hit session's live twin): collects the Result, feeds the shared
 // cache, and closes the fan-out hub so every subscriber's stream ends.
@@ -284,7 +353,13 @@ func (s *Server) finalizeLocked(sess *session) error {
 // stepLocked advances a session k steps and publishes the resulting
 // snapshot to its hub; when the schedule completes it finalizes the
 // session (feeding the cache). Must run on the session's shard loop.
-func (s *Server) stepLocked(sess *session, k int) (*core.Snapshot, error) {
+// The snapshot's cost tracks demand: the full body gather is the
+// O(n log n) bulk of a Snapshot, so it runs only when this caller asked
+// for bodies or a stream subscriber is listening (subscriptions are
+// taken on this shard loop, so the count cannot change under us);
+// otherwise the bodies-free SnapshotMeta path serves both the step
+// response and the hub publication.
+func (s *Server) stepLocked(sess *session, k int, wantBodies bool) (*core.Snapshot, error) {
 	if sess.released {
 		return nil, core.ErrReleased
 	}
@@ -294,7 +369,15 @@ func (s *Server) stepLocked(sess *session, k int) (*core.Snapshot, error) {
 	if err := sess.sim.Step(k); err != nil {
 		return nil, err
 	}
-	snap, err := sess.sim.Snapshot()
+	var (
+		snap *core.Snapshot
+		err  error
+	)
+	if wantBodies || sess.hub.subscriberCount() > 0 {
+		snap, err = sess.sim.Snapshot()
+	} else {
+		snap, err = sess.sim.SnapshotMeta()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +427,7 @@ func (s *Server) stepperLoop(sess *session, every int) {
 			if rem := sess.opts.Steps - sess.sim.StepsDone(); k > rem {
 				k = rem
 			}
-			if _, err := s.stepLocked(sess, k); err != nil {
+			if _, err := s.stepLocked(sess, k, false); err != nil {
 				s.logf("session %s: stepper stopped: %v", sess.id, err)
 				done = true
 				return

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -68,7 +70,7 @@ func TestSessionLifecycle(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		var snap *core.Snapshot
 		var stepErr error
-		tk, err := s.submit(sess.shard, func() { snap, stepErr = s.stepLocked(sess, 1) })
+		tk, err := s.submit(sess.shard, func() { snap, stepErr = s.stepLocked(sess, 1, false) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +85,7 @@ func TestSessionLifecycle(t *testing.T) {
 	// Schedule complete: the session auto-finalized and further steps
 	// are lifecycle conflicts.
 	var stepErr error
-	tk, err := s.submit(sess.shard, func() { _, stepErr = s.stepLocked(sess, 1) })
+	tk, err := s.submit(sess.shard, func() { _, stepErr = s.stepLocked(sess, 1, false) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestCreateCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	tk, err := s.submit(first.shard, func() {
-		if _, err := s.stepLocked(first, 3); err != nil {
+		if _, err := s.stepLocked(first, 3, false); err != nil {
 			t.Errorf("run to completion: %v", err)
 		}
 	})
@@ -147,7 +149,7 @@ func TestCreateCacheHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	tk, err = s.submit(p1.shard, func() {
-		if _, err := s.stepLocked(p1, 2); err != nil {
+		if _, err := s.stepLocked(p1, 2, false); err != nil {
 			t.Errorf("partial step: %v", err)
 		}
 		s.releaseLocked(p1) // finishes at step 2 of 4: partial result
@@ -562,11 +564,11 @@ func TestSnapshotsDroppedMonotone(t *testing.T) {
 	// publish past the first evicts its oldest frame.
 	tk, err := s.submit(sess.shard, func() {
 		sess.hub.subscribe(1)
-		if _, err := s.stepLocked(sess, 1); err != nil {
+		if _, err := s.stepLocked(sess, 1, false); err != nil {
 			t.Errorf("step: %v", err)
 			return
 		}
-		if _, err := s.stepLocked(sess, 1); err != nil {
+		if _, err := s.stepLocked(sess, 1, false); err != nil {
 			t.Errorf("step: %v", err)
 		}
 	})
@@ -613,7 +615,7 @@ func TestStreamFromFinishedSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	tk, err := s.submit(sess.shard, func() {
-		if _, err := s.stepLocked(sess, 2); err != nil {
+		if _, err := s.stepLocked(sess, 2, false); err != nil {
 			t.Errorf("run: %v", err)
 		}
 	})
@@ -641,5 +643,156 @@ func TestStreamFromFinishedSession(t *testing.T) {
 	}
 	if sn.Step != 2 {
 		t.Fatalf("terminal frame at step %d, want 2", sn.Step)
+	}
+}
+
+// TestHTTPCheckpointRestore drives the persistence surface end to end:
+// checkpoint a live session mid-run over HTTP, restore the container as
+// a fresh session, and the restored run's remaining trajectory and final
+// Result are byte-identical to the uninterrupted original. Corrupted
+// containers and sessions with no live simulation map to clean client
+// errors, never a crash.
+func TestHTTPCheckpointRestore(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const optsJSON = `{"options":{"bodies":256,"steps":4,"warmup":1,"level":"merged","machine":{"threads":2}}}`
+	resp, err := http.Post(ts.URL+"/sims", "application/json", strings.NewReader(optsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var si sessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&si); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Advance to step 2 and capture the container.
+	resp, err = http.Post(ts.URL+"/sims/"+si.ID+"/step?k=2", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/sims/"+si.ID+"/checkpoint", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, ckpt)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("checkpoint content-type %q", ct)
+	}
+	if step := resp.Header.Get("X-Checkpoint-Step"); step != "2" {
+		t.Fatalf("X-Checkpoint-Step %q, want 2", step)
+	}
+
+	// Restore the container as a new session: it resumes at step 2.
+	resp, err = http.Post(ts.URL+"/sims/restore", "application/octet-stream", bytes.NewReader(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ri sessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ri); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore: %d", resp.StatusCode)
+	}
+	if ri.Done != 2 || ri.Steps != 4 || ri.Key != si.Key || ri.Finished {
+		t.Fatalf("restored session info: %+v", ri)
+	}
+
+	// Run both to completion; the results must be byte-identical.
+	finalResult := func(id string) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/sims/"+id+"/step?k=2", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %s to completion: %d", id, resp.StatusCode)
+		}
+		resp, err = http.Get(ts.URL + "/sims/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result %s: %d %s", id, resp.StatusCode, raw)
+		}
+		return raw
+	}
+	ref := finalResult(si.ID)
+	got := finalResult(ri.ID)
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("restored run's result diverged from the original:\n%.300s\nvs\n%.300s", got, ref)
+	}
+
+	// A finished session has no paused state to capture: 409.
+	resp, err = http.Post(ts.URL+"/sims/"+si.ID+"/checkpoint", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint of finished session: %d, want 409", resp.StatusCode)
+	}
+
+	// A cache-hit session never had a live simulation: 409.
+	resp, err = http.Post(ts.URL+"/sims", "application/json", strings.NewReader(optsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ci sessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ci); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ci.CacheHit {
+		t.Fatalf("expected a cache hit: %+v", ci)
+	}
+	resp, err = http.Post(ts.URL+"/sims/"+ci.ID+"/checkpoint", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint of cache-hit session: %d, want 409", resp.StatusCode)
+	}
+
+	// Corrupted and garbage containers are the client's fault: 400 with
+	// the validation error, and no session is created.
+	before := s.Stats().Sessions.Created
+	bad := append([]byte(nil), ckpt...)
+	bad[len(bad)-1] ^= 0x40 // payload corruption: CRC mismatch
+	for _, body := range [][]byte{bad, []byte("not a checkpoint"), nil} {
+		resp, err = http.Post(ts.URL+"/sims/restore", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("restore of bad container: %d %s, want 400", resp.StatusCode, raw)
+		}
+	}
+	if after := s.Stats().Sessions.Created; after != before {
+		t.Fatalf("bad restores created %d sessions", after-before)
 	}
 }

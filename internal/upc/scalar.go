@@ -66,3 +66,12 @@ func (s *Scalar[T]) Peek() T {
 	defer s.mu.RUnlock()
 	return s.v
 }
+
+// Poke stores the value without charging simulated cost: the restore
+// path overwriting a reconstructed simulation's scalars while the
+// session is paused (no thread is running, so no charge may occur).
+func (s *Scalar[T]) Poke(v T) {
+	s.mu.Lock()
+	s.v = v
+	s.mu.Unlock()
+}

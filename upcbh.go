@@ -30,6 +30,8 @@
 package upcbh
 
 import (
+	"io"
+
 	"upcbh/internal/core"
 	"upcbh/internal/machine"
 	"upcbh/internal/nbody"
@@ -113,6 +115,15 @@ const (
 
 // New creates a simulation from options.
 func New(opts Options) (*Sim, error) { return core.New(opts) }
+
+// Restore reconstructs a paused simulation from a checkpoint container
+// written by Sim.Checkpoint (or Sim.CheckpointFile): the restored Sim
+// resumes at the captured step, and its remaining trajectory — phase
+// tables, snapshots, and the final Result — is byte-identical to the
+// run that wrote the checkpoint continuing uninterrupted. A corrupted,
+// truncated, or mismatched container is rejected with a descriptive
+// error.
+func Restore(r io.Reader) (*Sim, error) { return core.Restore(r) }
 
 // DefaultOptions returns paper/SPLASH2 defaults for n bodies on the given
 // number of emulated UPC threads (one per node) at an optimization level.
