@@ -35,11 +35,16 @@ const Magic = "UPCBHCKP"
 // Version is the current layout version; readers reject anything else.
 const Version = 1
 
-// maxHeaderLen / maxPayloadLen bound what a reader will allocate while
-// parsing, so a corrupt length field cannot OOM the process.
+// maxHeaderLen / maxPayloadLen bound what a reader will accept while
+// parsing, so a corrupt length field cannot OOM the process. The
+// payload bound is generous next to any realistic checkpoint (a
+// million-body run captures on the order of 100 MB), and the reader
+// additionally grows its buffer only as payload bytes actually arrive
+// (readPayload), so a tiny crafted header advertising the maximum
+// cannot force the allocation up front.
 const (
 	maxHeaderLen  = 1 << 20
-	maxPayloadLen = 1 << 38
+	maxPayloadLen = 1 << 33
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -244,9 +249,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			return nil, fmt.Errorf("arena: checkpoint truncated reading header padding: %w", err)
 		}
 	}
-	payload := make([]byte, h.PayloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("arena: checkpoint truncated reading payload (%d bytes expected): %w", h.PayloadLen, err)
+	payload, err := readPayload(r, h.PayloadLen)
+	if err != nil {
+		return nil, err
 	}
 	if crc := crc32.Checksum(payload, crcTable); crc != h.CRC {
 		return nil, fmt.Errorf("arena: checkpoint payload corrupt: CRC %08x, header says %08x", crc, h.CRC)
@@ -260,4 +265,35 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		c.regions[reg.Name] = payload[reg.Off : reg.Off+reg.Len : reg.Off+reg.Len]
 	}
 	return c, nil
+}
+
+// readPayload reads exactly n payload bytes from r, doubling the buffer
+// as bytes arrive rather than trusting the header's advertised length
+// with one up-front allocation: memory committed never exceeds twice
+// the bytes actually received, so a truncated or crafted stream fails
+// at the size it transmitted, not the size it claimed.
+func readPayload(r io.Reader, n int64) ([]byte, error) {
+	const initialAlloc = 16 << 20
+	capNow := n
+	if capNow > initialAlloc {
+		capNow = initialAlloc
+	}
+	payload := make([]byte, 0, capNow)
+	for int64(len(payload)) < n {
+		if len(payload) == cap(payload) {
+			next := int64(cap(payload)) * 2
+			if next > n {
+				next = n
+			}
+			grown := make([]byte, len(payload), next)
+			copy(grown, payload)
+			payload = grown
+		}
+		prev := len(payload)
+		payload = payload[:cap(payload)]
+		if _, err := io.ReadFull(r, payload[prev:]); err != nil {
+			return nil, fmt.Errorf("arena: checkpoint truncated reading payload (%d of %d bytes): %w", prev, n, err)
+		}
+	}
+	return payload, nil
 }

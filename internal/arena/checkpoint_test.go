@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -131,5 +132,49 @@ func TestCheckpointRejectsGarbageHeader(t *testing.T) {
 func TestCheckpointEmptyInput(t *testing.T) {
 	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// TestCheckpointHugePayloadLenNoUpfrontAlloc pins the defense against a
+// tiny crafted header advertising an enormous payload: the reader must
+// fail with a truncation error after reading only what was actually
+// sent, not allocate the advertised length up front (which could OOM
+// the process before the first payload byte is read).
+func TestCheckpointHugePayloadLenNoUpfrontAlloc(t *testing.T) {
+	craft := func(payloadLen int64) []byte {
+		hdr, err := json.Marshal(Header{Version: Version, Key: "k", PayloadLen: payloadLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.WriteString(Magic)
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], Version)
+		buf.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(hdr)))
+		buf.Write(u32[:])
+		buf.Write(hdr)
+		buf.Write(make([]byte, roundUp(buf.Len(), 8)-buf.Len()))
+		return buf.Bytes()
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err := ReadCheckpoint(bytes.NewReader(craft(maxPayloadLen)))
+	runtime.ReadMemStats(&after)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("huge advertised payload: got %v, want truncation error", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("reader allocated %d bytes for a header-only input", grew)
+	}
+
+	if _, err := ReadCheckpoint(bytes.NewReader(craft(maxPayloadLen + 1))); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("over-limit payload length: got %v, want implausible-length error", err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(craft(-1))); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("negative payload length: got %v, want implausible-length error", err)
 	}
 }

@@ -220,40 +220,54 @@ func appendRefBytes(buf []byte, refs []upc.Ref) []byte {
 func Restore(r io.Reader) (*Sim, error) {
 	c, err := arena.ReadCheckpoint(r)
 	if err != nil {
-		return nil, err
+		return nil, badCheckpoint(err)
 	}
 	state, ok := c.Region(regState)
 	if !ok {
-		return nil, fmt.Errorf("core: checkpoint has no %q region", regState)
+		return nil, badCheckpoint(fmt.Errorf("core: checkpoint has no %q region", regState))
 	}
 	var cs ckptState
 	if err := json.Unmarshal(state, &cs); err != nil {
-		return nil, fmt.Errorf("core: corrupt checkpoint state: %w", err)
+		return nil, badCheckpoint(fmt.Errorf("core: corrupt checkpoint state: %w", err))
 	}
 	if key := cs.Options.Key(); key != c.Header.Key {
-		return nil, fmt.Errorf("core: checkpoint key mismatch: header says %q, state decodes to %q", c.Header.Key, key)
+		return nil, badCheckpoint(fmt.Errorf("core: checkpoint key mismatch: header says %q, state decodes to %q", c.Header.Key, key))
 	}
 	if cs.StepsDone != c.Header.Step {
-		return nil, fmt.Errorf("core: checkpoint step mismatch: header says %d, state says %d", c.Header.Step, cs.StepsDone)
+		return nil, badCheckpoint(fmt.Errorf("core: checkpoint step mismatch: header says %d, state says %d", c.Header.Step, cs.StepsDone))
 	}
 	heap, ok := c.Region(regHeap)
 	if !ok {
-		return nil, fmt.Errorf("core: checkpoint has no %q region", regHeap)
+		return nil, badCheckpoint(fmt.Errorf("core: checkpoint has no %q region", regHeap))
 	}
 	refs, ok := c.Region(regRefs)
 	if !ok {
-		return nil, fmt.Errorf("core: checkpoint has no %q region", regRefs)
+		return nil, badCheckpoint(fmt.Errorf("core: checkpoint has no %q region", regRefs))
 	}
 	s, err := New(cs.Options)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint options rejected: %w", err)
+		if verr := cs.Options.validate(); verr != nil {
+			return nil, badCheckpoint(fmt.Errorf("core: checkpoint options rejected: %w", verr))
+		}
+		return nil, fmt.Errorf("core: construct restore target: %w", err)
 	}
 	if err := s.restoreState(&cs, heap, refs); err != nil {
 		s.Release()
-		return nil, err
+		return nil, badCheckpoint(err)
 	}
 	return s, nil
 }
+
+// badCheckpoint marks err as the checkpoint container's fault. Callers
+// that restore on behalf of someone else (bhserve's POST /sims/restore)
+// separate uploader mistakes from server-side construction failures
+// with errors.Is(err, ErrBadCheckpoint).
+func badCheckpoint(err error) error { return &badCheckpointError{err} }
+
+type badCheckpointError struct{ err error }
+
+func (e *badCheckpointError) Error() string   { return e.err.Error() }
+func (e *badCheckpointError) Unwrap() []error { return []error{ErrBadCheckpoint, e.err} }
 
 // restoreState overwrites the freshly constructed Sim's state with the
 // captured snapshot. The fresh session has run setup and parked before
@@ -300,7 +314,7 @@ func (s *Sim) restoreState(cs *ckptState, heap, refs []byte) error {
 		}
 		heapOff += nb
 
-		if tc.NOwned < 0 || refsOff+tc.NOwned*refBytes > len(refs) {
+		if tc.NOwned < 0 || tc.NOwned > (len(refs)-refsOff)/refBytes {
 			return fmt.Errorf("core: checkpoint refs region truncated (thread %d owns %d bodies)", i, tc.NOwned)
 		}
 		st.myBodies = st.myBodies[:0]
@@ -312,6 +326,38 @@ func (s *Sim) restoreState(cs *ckptState, heap, refs []byte) error {
 			st.myBodies = append(st.myBodies, r)
 		}
 		refsOff += tc.NOwned * refBytes
+
+		// The double-buffer geometry is dereferenced unchecked on the
+		// hot path (redistribute LocalSlices up to bufCap elements at
+		// st.buf[st.cur]), so a CRC-valid but crafted container must
+		// not get out-of-range values past this point: a buffer ref
+		// must be local to its thread, lie within the restored shard,
+		// and fit one allocation chunk (the LocalSlice precondition
+		// every genuine Alloc satisfies).
+		if tc.Cur != 0 && tc.Cur != 1 {
+			return fmt.Errorf("core: checkpoint thread %d current-buffer index %d (want 0 or 1)", i, tc.Cur)
+		}
+		if tc.BufCap < 1 || tc.CurLen < 0 || tc.CurLen > tc.BufCap {
+			return fmt.Errorf("core: checkpoint thread %d buffer occupancy %d of capacity %d out of range", i, tc.CurLen, tc.BufCap)
+		}
+		bufOK := func(r upc.Ref) bool {
+			return int(r.Thr) == i && r.Idx >= 0 &&
+				int64(r.Idx)+int64(tc.BufCap) <= int64(cs.HeapLens[i]) &&
+				s.bodies.OneChunk(r.Idx, tc.BufCap)
+		}
+		if !bufOK(tc.Buf[tc.Cur]) {
+			return fmt.Errorf("core: checkpoint thread %d current buffer %v (capacity %d) out of range", i, tc.Buf[tc.Cur], tc.BufCap)
+		}
+		if s.o.Level >= LevelRedistribute {
+			if !bufOK(tc.Buf[1-tc.Cur]) {
+				return fmt.Errorf("core: checkpoint thread %d alternate buffer %v (capacity %d) out of range", i, tc.Buf[1-tc.Cur], tc.BufCap)
+			}
+		} else if tc.Cur != 0 || tc.Buf[1] != (upc.Ref{}) {
+			// Below LevelRedistribute nothing ever allocates or swaps
+			// to the alternate buffer; only the setup-time state is
+			// genuine.
+			return fmt.Errorf("core: checkpoint thread %d carries an alternate buffer %v at level %v", i, tc.Buf[1], s.o.Level)
+		}
 
 		st.step = tc.Step
 		st.buf = tc.Buf

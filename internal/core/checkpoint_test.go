@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -249,6 +250,9 @@ func TestRestoreRejects(t *testing.T) {
 		if !strings.Contains(err.Error(), wantSub) {
 			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
 		}
+		if !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: error %q is not ErrBadCheckpoint", name, err)
+		}
 	}
 
 	expectErr("garbage", []byte("not a checkpoint at all........."), "bad magic")
@@ -278,6 +282,55 @@ func TestRestoreRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	expectErr("step mismatch", wrongStep.Bytes(), "step mismatch")
+
+	// CRC-valid containers whose state region smuggles out-of-range
+	// values: the double-buffer geometry feeds unchecked hot-path
+	// derefs (st.buf[st.cur], LocalSlice), so restore must bounds-check
+	// it like it does the body refs — reject, never a later panic.
+	mutated := func(f func(cs *ckptState)) []byte {
+		t.Helper()
+		c, err := arena.ReadCheckpoint(bytes.NewReader(ckpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		state, _ := c.Region(regState)
+		var cs ckptState
+		if err := json.Unmarshal(state, &cs); err != nil {
+			t.Fatal(err)
+		}
+		f(&cs)
+		enc, err := json.Marshal(&cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heap, _ := c.Region(regHeap)
+		refs, _ := c.Region(regRefs)
+		var buf bytes.Buffer
+		err = arena.WriteCheckpoint(&buf, c.Header.Key, c.Header.Step, nil, []arena.NamedRegion{
+			{Name: regState, Data: enc},
+			{Name: regHeap, Data: heap},
+			{Name: regRefs, Data: refs},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	expectErr("buffer index out of range",
+		mutated(func(cs *ckptState) { cs.Threads[0].Cur = 7 }), "current-buffer index")
+	expectErr("buffer ref outside shard",
+		mutated(func(cs *ckptState) { cs.Threads[0].Buf[cs.Threads[0].Cur].Idx = 1 << 30 }), "current buffer")
+	expectErr("buffer ref on wrong thread",
+		mutated(func(cs *ckptState) { cs.Threads[1].Buf[cs.Threads[1].Cur].Thr = 0 }), "current buffer")
+	expectErr("buffer capacity overrunning shard",
+		mutated(func(cs *ckptState) { cs.Threads[0].BufCap = 1 << 30 }), "buffer")
+	expectErr("occupancy past capacity",
+		mutated(func(cs *ckptState) { cs.Threads[0].CurLen = cs.Threads[0].BufCap + 1 }), "occupancy")
+	expectErr("owned count overflowing refs region",
+		mutated(func(cs *ckptState) { cs.Threads[0].NOwned = 1 << 60 }), "refs region truncated")
+	expectErr("buffer ref negative index",
+		mutated(func(cs *ckptState) { cs.Threads[0].Buf[cs.Threads[0].Cur].Idx = -1 }), "current buffer")
 }
 
 // TestCheckpointRestoreFreshProcess re-executes the test binary so the

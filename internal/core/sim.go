@@ -29,6 +29,11 @@ var (
 	// ErrSchedule: a Step(k) would take the simulation past the
 	// configured Options.Steps.
 	ErrSchedule = errors.New("step exceeds the configured schedule")
+	// ErrBadCheckpoint: Restore rejected the checkpoint container itself
+	// (corrupt, truncated, mismatched, or carrying out-of-range state) —
+	// the uploader's fault (HTTP 400), as opposed to a server-side
+	// construction failure while rebuilding the simulation (500).
+	ErrBadCheckpoint = errors.New("invalid checkpoint")
 )
 
 // rootGeom is the root-cell geometry (SPLASH2's rsize plus center); at

@@ -304,7 +304,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // as the request body: the restored simulation resumes at its captured
 // step and then behaves like any live session (step, stream, result,
 // checkpoint again). A malformed, corrupted, or mismatched container is
-// the client's fault: 400 with the validation error.
+// the client's fault — core.Restore marks those core.ErrBadCheckpoint
+// and they answer 400 — while a server-side failure constructing the
+// restore target stays a 500.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
 	if err != nil {
@@ -313,10 +315,10 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	_, si, err := s.restoreSession(data)
 	if err != nil {
-		if errors.Is(err, errBusy) || errors.Is(err, errDraining) {
-			writeErr(w, err)
-		} else {
+		if errors.Is(err, core.ErrBadCheckpoint) {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		} else {
+			writeErr(w, err)
 		}
 		return
 	}

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"upcbh/internal/arena"
 	"upcbh/internal/core"
 )
 
@@ -777,11 +778,44 @@ func TestHTTPCheckpointRestore(t *testing.T) {
 	}
 
 	// Corrupted and garbage containers are the client's fault: 400 with
-	// the validation error, and no session is created.
+	// the validation error, and no session is created. That includes a
+	// CRC-valid container whose state region smuggles out-of-range
+	// double-buffer geometry — accepted, it would panic the whole
+	// process on the restored session's next step.
 	before := s.Stats().Sessions.Created
 	bad := append([]byte(nil), ckpt...)
 	bad[len(bad)-1] ^= 0x40 // payload corruption: CRC mismatch
-	for _, body := range [][]byte{bad, []byte("not a checkpoint"), nil} {
+	crafted := func() []byte {
+		c, err := arena.ReadCheckpoint(bytes.NewReader(ckpt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		state, _ := c.Region("state")
+		var m map[string]any
+		if err := json.Unmarshal(state, &m); err != nil {
+			t.Fatal(err)
+		}
+		th0 := m["threads"].([]any)[0].(map[string]any)
+		th0["cur"] = 9
+		th0["buf"] = []any{map[string]any{"Thr": 0, "Idx": 1 << 30}, map[string]any{"Thr": 0, "Idx": 0}}
+		enc, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heap, _ := c.Region("heap")
+		refs, _ := c.Region("refs")
+		var buf bytes.Buffer
+		err = arena.WriteCheckpoint(&buf, c.Header.Key, c.Header.Step, nil, []arena.NamedRegion{
+			{Name: "state", Data: enc},
+			{Name: "heap", Data: heap},
+			{Name: "refs", Data: refs},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	for _, body := range [][]byte{bad, []byte("not a checkpoint"), nil, crafted} {
 		resp, err = http.Post(ts.URL+"/sims/restore", "application/octet-stream", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)

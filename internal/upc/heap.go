@@ -338,6 +338,18 @@ func (h *Heap[T]) LocalSlice(t *Thread, r Ref, n int) []T {
 	return (*c)[off : off+int32(n)]
 }
 
+// OneChunk reports whether the n-element range starting at local index
+// idx lies within a single allocation chunk — the LocalSlice
+// precondition, which every Alloc of up to a chunk's worth of elements
+// satisfies. The checkpoint-restore path uses it to validate captured
+// buffer geometry before the hot path dereferences it.
+func (h *Heap[T]) OneChunk(idx int32, n int) bool {
+	if idx < 0 || n <= 0 {
+		return false
+	}
+	return int64(idx)>>h.shift == (int64(idx)+int64(n)-1)>>h.shift
+}
+
 // Raw returns the element's address regardless of affinity, charging
 // nothing. It exists for flag protocols that need atomics (spin-waiting
 // on a cell's Done flag) and for emulation internals; callers are
