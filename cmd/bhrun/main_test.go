@@ -4,10 +4,16 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"testing"
+	"time"
 
 	"upcbh"
 )
@@ -160,5 +166,90 @@ func TestRunStreamFromRestoredSim(t *testing.T) {
 		if line != refLines[i+2] {
 			t.Fatalf("restored stream frame %d diverged:\n%s\nvs\n%s", i, line, refLines[i+2])
 		}
+	}
+}
+
+// TestCheckpointFileKilledMidWrite: SIGKILL delivered while -checkpoint
+// is writing must never leave a torn container at the target path — the
+// atomic temp-file + rename contract of arena.WriteFileCheckpoint. A
+// child process writes the same checkpoint file in a tight loop; the
+// parent kills it at varying points and asserts the target is either
+// absent or a complete, restorable container. (A *.tmp sibling may
+// survive the kill; that is the documented, harmless residue.)
+func TestCheckpointFileKilledMidWrite(t *testing.T) {
+	if target := os.Getenv("UPCBH_KILL_CKPT"); target != "" {
+		// Child: pause a small run at step 2 and overwrite the container
+		// until killed.
+		opts := upcbh.DefaultOptions(2048, 2, upcbh.LevelMergedBuild)
+		opts.Steps, opts.Warmup = 4, 1
+		sim, err := upcbh.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Step(2); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Println("CHILD-WRITING")
+		for {
+			if err := sim.CheckpointFile(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, delay := range []time.Duration{2 * time.Millisecond, 8 * time.Millisecond, 25 * time.Millisecond} {
+		target := filepath.Join(t.TempDir(), "kill.ckpt")
+		cmd := exec.Command(exe, "-test.run", "^TestCheckpointFileKilledMidWrite$", "-test.v")
+		cmd.Env = append(os.Environ(), "UPCBH_KILL_CKPT="+target)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(out)
+		ready := false
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "CHILD-WRITING") {
+				ready = true
+				break
+			}
+		}
+		if !ready {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			t.Fatalf("iteration %d: child never started writing", i)
+		}
+		time.Sleep(delay)
+		if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+			t.Fatal(err)
+		}
+		_ = cmd.Wait()
+
+		if _, err := os.Stat(target); err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				t.Fatalf("iteration %d: stat target: %v", i, err)
+			}
+			continue // killed before the first rename: target absent is correct
+		}
+		f, err := os.Open(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := upcbh.Restore(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("iteration %d: surviving container is torn: %v", i, err)
+		}
+		if sim.StepsDone() != 2 {
+			t.Fatalf("iteration %d: restored at step %d, want 2", i, sim.StepsDone())
+		}
+		sim.Release()
 	}
 }

@@ -14,6 +14,15 @@
 //	curl -sN localhost:8080/sims/s-1/stream | jq .step
 //	curl -s localhost:8080/stats | jq .runner
 //
+// With -store DIR the daemon is crash-safe (DESIGN.md §14): live
+// sessions are auto-checkpointed into a durable on-disk store every
+// -ckpt-every steps and/or -ckpt-interval of wall clock, and a restart
+// pointed at the same store re-admits every recoverable session at its
+// newest checkpoint — resumable via GET /sims discovery even after
+// kill -9.
+//
+//	bhserve -store /var/lib/bhserve -ckpt-every 50 -ckpt-interval 30s
+//
 // SIGINT/SIGTERM drain gracefully: admissions stop, in-flight steps
 // finish, every session is finished and released, then the process
 // exits 0.
@@ -32,6 +41,7 @@ import (
 
 	"upcbh/internal/bench"
 	"upcbh/internal/serve"
+	"upcbh/internal/store"
 )
 
 func main() {
@@ -43,6 +53,16 @@ func main() {
 		every   = flag.Int("every", 0, "default steps between streamed snapshots (0 = 1)")
 		workers = flag.Int("workers", 0, "runner worker pool size (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress progress logging")
+
+		storeDir  = flag.String("store", "", "durable checkpoint store directory (empty = no durability)")
+		ckptEvery = flag.Int("ckpt-every", 0,
+			"auto-checkpoint each session every N steps (0 = disabled; requires -store)")
+		ckptInterval = flag.Duration("ckpt-interval", 0,
+			"auto-checkpoint each session at this wall-clock interval, evaluated at step boundaries (0 = disabled; requires -store)")
+		ckptKeep = flag.Int("ckpt-keep", 0,
+			"checkpoints retained per session key in the store (0 = 2)")
+		maxRestore = flag.Int64("max-restore-bytes", 0,
+			"POST /sims/restore upload cap in bytes; larger uploads get 413 (0 = 1 GiB)")
 	)
 	flag.Parse()
 	if args := flag.Args(); len(args) > 0 {
@@ -57,13 +77,31 @@ func main() {
 	runner := bench.NewRunner(*workers)
 	runner.Progress = func(format string, args ...any) { logf("runner: "+format, args...) }
 
+	var ckptStore *store.Store
+	if *storeDir != "" {
+		var err error
+		ckptStore, err = store.Open(*storeDir, store.Options{
+			Keep: *ckptKeep,
+			Logf: func(format string, args ...any) { logf("store: "+format, args...) },
+		})
+		if err != nil {
+			log.Fatalf("bhserve: open store: %v", err)
+		}
+	} else if *ckptEvery > 0 || *ckptInterval > 0 {
+		log.Fatal("bhserve: -ckpt-every/-ckpt-interval require -store")
+	}
+
 	srv := serve.New(serve.Config{
-		Shards:      *shards,
-		QueueDepth:  *queue,
-		SubBuffer:   *subbuf,
-		StreamEvery: *every,
-		Runner:      runner,
-		Logf:        logf,
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		SubBuffer:       *subbuf,
+		StreamEvery:     *every,
+		Runner:          runner,
+		Logf:            logf,
+		Store:           ckptStore,
+		CkptEvery:       *ckptEvery,
+		CkptInterval:    *ckptInterval,
+		MaxRestoreBytes: *maxRestore,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Checkpoint file format (DESIGN.md §13):
@@ -174,10 +175,21 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // WriteFileCheckpoint writes the identical bytes through a file-backed
 // mmap: map the file, copy the preamble/header/regions into the
-// mapping, msync, unmap, and trim the page-rounded tail so the file
-// matches the streaming writer byte for byte. This is the zero-copy
-// path a file-backed simulation arena would take (the pages are
-// already resident; msync + header write makes them durable).
+// mapping, msync, and trim the page-rounded tail so the file matches
+// the streaming writer byte for byte. This is the zero-copy path a
+// file-backed simulation arena would take (the pages are already
+// resident; msync makes them durable).
+//
+// Durability contract: the container is assembled at a temporary name
+// next to path and published by rename only after its data (msync +
+// fsync, covering the post-trim file length) is on stable storage,
+// followed by an fsync of the directory. When WriteFileCheckpoint
+// returns nil, the complete container is durable at path; if the
+// writer crashes (or the disk fails) at any earlier point, path either
+// does not exist or still holds its previous complete contents — a
+// truncated or torn container can never appear at path. The temporary
+// file (path + ".tmp") may survive a crash; it is dead weight, not a
+// hazard, and a rerun replaces it.
 func WriteFileCheckpoint(path, key string, step int, env json.RawMessage, regions []NamedRegion) error {
 	h, hdr, err := buildHeader(key, step, env, regions)
 	if err != nil {
@@ -185,7 +197,8 @@ func WriteFileCheckpoint(path, key string, step int, env json.RawMessage, region
 	}
 	payloadStart := roundUp(preambleLen+len(hdr), 8)
 	total := payloadStart + int(h.PayloadLen)
-	a, err := Create(path, total)
+	tmp := path + ".tmp"
+	a, err := Create(tmp, total)
 	if err != nil {
 		return err
 	}
@@ -199,15 +212,108 @@ func WriteFileCheckpoint(path, key string, step int, env json.RawMessage, region
 	}
 	if err := a.Sync(); err != nil {
 		a.Close()
-		return err
+		return abortTmp(tmp, err)
 	}
 	if err := a.Close(); err != nil {
-		return fmt.Errorf("arena: unmap checkpoint %s: %w", path, err)
+		return abortTmp(tmp, fmt.Errorf("arena: unmap checkpoint %s: %w", tmp, err))
 	}
-	if err := os.Truncate(path, int64(total)); err != nil {
-		return fmt.Errorf("arena: trim checkpoint %s: %w", path, err)
+	if err := os.Truncate(tmp, int64(total)); err != nil {
+		return abortTmp(tmp, fmt.Errorf("arena: trim checkpoint %s: %w", tmp, err))
+	}
+	// msync flushed the mapped pages, but the trim changed the inode's
+	// length after the unmap: fsync the file so the final geometry (and
+	// any page the kernel had not yet written back) is durable before
+	// the rename makes it visible.
+	if err := fsyncFile(tmp); err != nil {
+		return abortTmp(tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return abortTmp(tmp, fmt.Errorf("arena: publish checkpoint %s: %w", path, err))
+	}
+	return fsyncDir(filepath.Dir(path))
+}
+
+func abortTmp(tmp string, err error) error {
+	os.Remove(tmp)
+	return err
+}
+
+func fsyncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("arena: reopen checkpoint %s for fsync: %w", path, err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("arena: fsync checkpoint %s: %w", path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("arena: close checkpoint %s: %w", path, cerr)
 	}
 	return nil
+}
+
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("arena: open checkpoint directory %s: %w", dir, err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("arena: fsync checkpoint directory %s: %w", dir, serr)
+	}
+	return cerr
+}
+
+// readHeader parses and validates the preamble plus JSON header from
+// r, leaving r positioned at the payload (header padding consumed).
+func readHeader(r io.Reader) (Header, error) {
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return Header{}, fmt.Errorf("arena: checkpoint truncated reading preamble: %w", err)
+	}
+	if string(pre[:8]) != Magic {
+		return Header{}, fmt.Errorf("arena: not a checkpoint (bad magic %q)", pre[:8])
+	}
+	ver := binary.LittleEndian.Uint32(pre[8:12])
+	if ver != Version {
+		return Header{}, fmt.Errorf("arena: unsupported checkpoint version %d (this build reads version %d)", ver, Version)
+	}
+	hdrLen := binary.LittleEndian.Uint32(pre[12:16])
+	if hdrLen == 0 || hdrLen > maxHeaderLen {
+		return Header{}, fmt.Errorf("arena: implausible checkpoint header length %d", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Header{}, fmt.Errorf("arena: checkpoint truncated reading header: %w", err)
+	}
+	var h Header
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		return Header{}, fmt.Errorf("arena: corrupt checkpoint header: %w", err)
+	}
+	if h.Version != ver {
+		return Header{}, fmt.Errorf("arena: checkpoint header version %d disagrees with preamble %d", h.Version, ver)
+	}
+	if h.PayloadLen < 0 || h.PayloadLen > maxPayloadLen {
+		return Header{}, fmt.Errorf("arena: implausible checkpoint payload length %d", h.PayloadLen)
+	}
+	if pad := roundUp(preambleLen+int(hdrLen), 8) - (preambleLen + int(hdrLen)); pad > 0 {
+		if _, err := io.CopyN(io.Discard, r, int64(pad)); err != nil {
+			return Header{}, fmt.Errorf("arena: checkpoint truncated reading header padding: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// PeekHeader parses and validates just the header of the container in
+// data — magic, version, header shape — without reading or
+// CRC-checking the payload. It answers "what key and step does this
+// container claim?" cheaply (the store's restore-dedup path); the
+// claim is only trusted after a full ReadCheckpoint.
+func PeekHeader(data []byte) (Header, error) {
+	return readHeader(bytes.NewReader(data))
 }
 
 // ReadCheckpoint parses and validates a checkpoint from r: magic,
@@ -215,39 +321,9 @@ func WriteFileCheckpoint(path, key string, step int, env json.RawMessage, region
 // before any region is handed to the caller. Corrupt or truncated
 // input yields a descriptive error, never a panic.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var pre [preambleLen]byte
-	if _, err := io.ReadFull(r, pre[:]); err != nil {
-		return nil, fmt.Errorf("arena: checkpoint truncated reading preamble: %w", err)
-	}
-	if string(pre[:8]) != Magic {
-		return nil, fmt.Errorf("arena: not a checkpoint (bad magic %q)", pre[:8])
-	}
-	ver := binary.LittleEndian.Uint32(pre[8:12])
-	if ver != Version {
-		return nil, fmt.Errorf("arena: unsupported checkpoint version %d (this build reads version %d)", ver, Version)
-	}
-	hdrLen := binary.LittleEndian.Uint32(pre[12:16])
-	if hdrLen == 0 || hdrLen > maxHeaderLen {
-		return nil, fmt.Errorf("arena: implausible checkpoint header length %d", hdrLen)
-	}
-	hdr := make([]byte, hdrLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("arena: checkpoint truncated reading header: %w", err)
-	}
-	var h Header
-	if err := json.Unmarshal(hdr, &h); err != nil {
-		return nil, fmt.Errorf("arena: corrupt checkpoint header: %w", err)
-	}
-	if h.Version != ver {
-		return nil, fmt.Errorf("arena: checkpoint header version %d disagrees with preamble %d", h.Version, ver)
-	}
-	if h.PayloadLen < 0 || h.PayloadLen > maxPayloadLen {
-		return nil, fmt.Errorf("arena: implausible checkpoint payload length %d", h.PayloadLen)
-	}
-	if pad := roundUp(preambleLen+int(hdrLen), 8) - (preambleLen + int(hdrLen)); pad > 0 {
-		if _, err := io.CopyN(io.Discard, r, int64(pad)); err != nil {
-			return nil, fmt.Errorf("arena: checkpoint truncated reading header padding: %w", err)
-		}
+	h, err := readHeader(r)
+	if err != nil {
+		return nil, err
 	}
 	payload, err := readPayload(r, h.PayloadLen)
 	if err != nil {

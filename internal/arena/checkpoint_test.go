@@ -178,3 +178,100 @@ func TestCheckpointHugePayloadLenNoUpfrontAlloc(t *testing.T) {
 		t.Fatalf("negative payload length: got %v, want implausible-length error", err)
 	}
 }
+
+// TestFileCheckpointAtomic pins the durability contract's visible
+// half: a successful write leaves no temp file behind, and overwriting
+// an existing container goes through rename (the old contents are
+// never truncated in place — at every instant the path holds one
+// complete container).
+func TestFileCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := WriteFileCheckpoint(path, "k", 1, nil, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different step: must succeed and replace.
+	if err := WriteFileCheckpoint(path, "k", 2, nil, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after a successful write", e.Name())
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := ReadCheckpoint(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header.Step != 2 {
+		t.Fatalf("replaced container carries step %d, want 2", c.Header.Step)
+	}
+}
+
+// TestFileCheckpointFailureKeepsPrevious: when the write cannot
+// complete (here: the temp path is a directory, so Create fails), the
+// previous container at path is untouched.
+func TestFileCheckpointFailureKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := WriteFileCheckpoint(path, "k", 5, nil, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileCheckpoint(path, "k", 6, nil, sampleRegions()); err == nil {
+		t.Fatal("write through a blocked temp path succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed write perturbed the previous container")
+	}
+}
+
+// TestPeekHeader: the header-only parse returns the container's claim
+// without touching the payload, and rejects the same malformed
+// preambles/headers ReadCheckpoint does.
+func TestPeekHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, "peek-key", 9, nil, sampleRegions()); err != nil {
+		t.Fatal(err)
+	}
+	h, err := PeekHeader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Key != "peek-key" || h.Step != 9 {
+		t.Fatalf("PeekHeader = %q step %d", h.Key, h.Step)
+	}
+	// A corrupted payload does not bother PeekHeader (it never reads it)...
+	raw := append([]byte{}, buf.Bytes()...)
+	raw[len(raw)-1] ^= 0xFF
+	if _, err := PeekHeader(raw); err != nil {
+		t.Fatalf("payload corruption failed the header peek: %v", err)
+	}
+	// ...but a truncated header or bad magic is rejected.
+	if _, err := PeekHeader(raw[:10]); err == nil {
+		t.Fatal("truncated preamble accepted")
+	}
+	raw[0] = 'X'
+	if _, err := PeekHeader(raw); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

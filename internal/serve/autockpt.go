@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"syscall"
+	"time"
+
+	"upcbh/internal/core"
+)
+
+// Crash safety (DESIGN.md §14): periodic auto-checkpoints of live
+// sessions into the durable store, and startup recovery from it.
+//
+// The split that keeps stepping off the disk: *capture* runs on the
+// session's shard loop (the only place the paused Sim may be read) into
+// a memory buffer — cheap, bounded, no I/O — while *persistence* runs
+// on one dedicated persister goroutine that drains a bounded queue.
+// A slow or failing disk therefore backlogs the persister, never the
+// stepper: when the queue is full the capture is dropped (counted),
+// the session keeps running in-memory, and the next due tick recaptures
+// fresher state anyway.
+//
+// Persistence failures follow the transient/persistent split: transient
+// errors (EIO and friends) get bounded retries with exponential
+// backoff; ENOSPC — retrying onto a full disk is noise — and exhausted
+// retries mark the store degraded (visible in /stats and /healthz) and
+// drop the capture. The next successful Put heals the store.
+
+// ckptJob is one captured checkpoint container awaiting persistence.
+type ckptJob struct {
+	key  string
+	step int
+	data []byte
+}
+
+// CkptStats counts the auto-checkpoint pipeline (GET /stats).
+type CkptStats struct {
+	// Captured checkpoints were serialized on a shard loop.
+	Captured uint64 `json:"captured"`
+	// Persisted made it durably into the store.
+	Persisted uint64 `json:"persisted"`
+	// Dropped were discarded because the persister queue was full —
+	// stepping never waits for disk.
+	Dropped uint64 `json:"dropped"`
+	// Failed exhausted the retry budget (or hit ENOSPC); the store is
+	// degraded until a later write succeeds.
+	Failed uint64 `json:"failed"`
+	// Retries counts individual retry attempts after transient errors.
+	Retries uint64 `json:"retries"`
+}
+
+// persistQueueDepth bounds captures awaiting persistence. Deep enough
+// to ride out a transient disk stall across many sessions, small
+// enough that a dead disk cannot accumulate unbounded snapshots.
+const persistQueueDepth = 16
+
+// maybeAutoCheckpointLocked captures the session's paused state when a
+// checkpoint is due — every CkptEvery steps and/or every CkptInterval
+// of wall clock, whichever fires first (the interval is evaluated at
+// step boundaries: a session nobody is stepping isn't changing, so
+// there is nothing new to capture). Must run on the session's shard
+// loop with the session live and unfinished. The capture lands in a
+// memory buffer and is handed to the persister; this function never
+// touches the disk.
+func (s *Server) maybeAutoCheckpointLocked(sess *session) {
+	if s.cfg.Store == nil || sess.sim == nil || sess.finished || sess.released {
+		return
+	}
+	every, interval := s.cfg.CkptEvery, s.cfg.CkptInterval
+	if every <= 0 && interval <= 0 {
+		return
+	}
+	done := sess.sim.StepsDone()
+	due := (every > 0 && done-sess.lastCkptStep >= every) ||
+		(interval > 0 && time.Since(sess.lastCkptTime) >= interval)
+	if !due {
+		return
+	}
+	// Advance the cadence before knowing the outcome: a capture or
+	// enqueue failure must not turn into a capture attempt on every
+	// subsequent step.
+	sess.lastCkptStep = done
+	sess.lastCkptTime = time.Now()
+	var buf bytes.Buffer
+	if err := sess.sim.Checkpoint(&buf); err != nil {
+		s.logf("session %s: auto-checkpoint capture at step %d: %v", sess.id, done, err)
+		return
+	}
+	s.enqueueCkptLocked(ckptJob{key: sess.key, step: done, data: buf.Bytes()})
+}
+
+// enqueueCkptLocked hands a captured container to the persister without
+// blocking: a full queue drops the capture (the stepper's latency is
+// sacrosanct; durability degrades by one checkpoint interval). Must run
+// on a shard loop — Shutdown closes the queue only after every shard
+// loop has exited, so a send from a shard task can never hit a closed
+// channel.
+func (s *Server) enqueueCkptLocked(j ckptJob) {
+	s.mu.Lock()
+	s.ckpt.Captured++
+	s.mu.Unlock()
+	select {
+	case s.persistCh <- j:
+	default:
+		s.mu.Lock()
+		s.ckpt.Dropped++
+		s.mu.Unlock()
+		s.logf("checkpoint persister backlogged: dropped step-%d capture of %s", j.step, j.key)
+	}
+}
+
+// persister is the single off-shard writer: it drains captured
+// containers into the store until Shutdown closes the queue.
+func (s *Server) persister() {
+	defer close(s.persistDone)
+	for j := range s.persistCh {
+		s.persistOne(j)
+	}
+}
+
+// persistOne writes one container with the transient/persistent retry
+// policy. Only this goroutine runs it, so backoff sleeps stall at most
+// the checkpoint pipeline — never a session.
+func (s *Server) persistOne(j ckptJob) {
+	backoff := s.cfg.CkptBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = s.cfg.Store.Put(j.key, j.step, j.data)
+		if err == nil {
+			s.mu.Lock()
+			s.ckpt.Persisted++
+			s.mu.Unlock()
+			return
+		}
+		if errors.Is(err, syscall.ENOSPC) || attempt >= s.cfg.CkptRetries {
+			break
+		}
+		s.mu.Lock()
+		s.ckpt.Retries++
+		s.mu.Unlock()
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	s.mu.Lock()
+	s.ckpt.Failed++
+	s.mu.Unlock()
+	s.cfg.Store.SetDegraded(err)
+	s.logf("checkpoint persist for %s step %d failed permanently: %v (store degraded; sessions continue in-memory)",
+		j.key, j.step, err)
+}
+
+// recoverSessions re-admits every recoverable session from the store at
+// boot: each key's newest valid container is restored into a live,
+// paused session ready to step/stream/finish exactly where the crashed
+// process left it. A container that passes the store's format
+// validation but fails core.Restore's deeper checks is quarantined and
+// the key's next-newest entry tried — recovery never aborts on one bad
+// entry. Runs from New before the listener exists, so no task races.
+func (s *Server) recoverSessions() {
+	st := s.cfg.Store
+	for _, e := range st.NewestAll() {
+		for {
+			sim, err := core.Restore(bytes.NewReader(e.Data))
+			if err == nil {
+				s.admitRecovered(e.Key, sim)
+				break
+			}
+			s.logf("recovery: restore %q step %d: %v (quarantining)", e.Key, e.Step, err)
+			st.Quarantine(e.Key, e.Step)
+			data, step, nerr := st.Newest(e.Key)
+			if nerr != nil {
+				break
+			}
+			e.Data, e.Step = data, step
+		}
+	}
+}
+
+// admitRecovered registers one boot-recovered session. The session's
+// shard-owned fields are initialized before it is published in the
+// registry (registration under mu is the happens-before edge to every
+// later shard task).
+func (s *Server) admitRecovered(key string, sim *core.Sim) {
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s-%d", s.nextID)
+	s.mu.Unlock()
+	sess := &session{
+		id:        id,
+		key:       key,
+		shard:     s.shards[shardFor(id, len(s.shards))],
+		hub:       newHub(),
+		opts:      sim.Options(),
+		created:   time.Now(),
+		recovered: true,
+		sim:       sim,
+	}
+	sess.lastCkptStep = sim.StepsDone()
+	sess.lastCkptTime = time.Now()
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.created++
+	s.recovered++
+	s.mu.Unlock()
+	s.logf("session %s: recovered from store at step %d of %d (%s)",
+		id, sim.StepsDone(), sess.opts.Steps, key)
+}

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 
 	"upcbh/internal/core"
 	"upcbh/internal/machine"
@@ -26,13 +28,15 @@ type createRequest struct {
 
 // sessionInfo is the JSON shape of a session in responses.
 type sessionInfo struct {
-	ID       string `json:"id"`
-	Key      string `json:"key"`
-	Shard    int    `json:"shard"`
-	Steps    int    `json:"steps"`
-	Done     int    `json:"steps_done"`
-	Finished bool   `json:"finished"`
-	CacheHit bool   `json:"cache_hit"`
+	ID        string `json:"id"`
+	Key       string `json:"key"`
+	Shard     int    `json:"shard"`
+	Steps     int    `json:"steps"`
+	Done      int    `json:"steps_done"`
+	Finished  bool   `json:"finished"`
+	CacheHit  bool   `json:"cache_hit"`
+	Recovered bool   `json:"recovered,omitempty"`  // re-admitted from the store at boot
+	FromStore bool   `json:"from_store,omitempty"` // restore answered from the store
 }
 
 type errorBody struct {
@@ -43,6 +47,7 @@ type errorBody struct {
 //
 //	POST   /sims            create a session (cache-aware)
 //	POST   /sims/restore    create a session from a checkpoint container
+//	GET    /sims            list sessions (recovery discovery)
 //	GET    /sims/{id}       session status
 //	POST   /sims/{id}/step  advance ?k= steps (default 1), return the snapshot
 //	POST   /sims/{id}/checkpoint  serialize the paused state (octet-stream)
@@ -56,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sims", s.handleCreate)
 	mux.HandleFunc("POST /sims/restore", s.handleRestore)
+	mux.HandleFunc("GET /sims", s.handleList)
 	mux.HandleFunc("GET /sims/{id}", s.handleStatus)
 	mux.HandleFunc("POST /sims/{id}/step", s.handleStep)
 	mux.HandleFunc("POST /sims/{id}/checkpoint", s.handleCheckpoint)
@@ -110,12 +116,14 @@ func (s *Server) info(sess *session) (sessionInfo, error) {
 	var si sessionInfo
 	t, err := s.submit(sess.shard, func() {
 		si = sessionInfo{
-			ID:       sess.id,
-			Key:      sess.key,
-			Shard:    sess.shard.id,
-			Steps:    sess.opts.Steps,
-			Finished: sess.finished,
-			CacheHit: sess.cacheHit,
+			ID:        sess.id,
+			Key:       sess.key,
+			Shard:     sess.shard.id,
+			Steps:     sess.opts.Steps,
+			Finished:  sess.finished,
+			CacheHit:  sess.cacheHit,
+			Recovered: sess.recovered,
+			FromStore: sess.fromStore,
 		}
 		if sess.finished {
 			si.Done = sess.opts.Steps
@@ -128,6 +136,38 @@ func (s *Server) info(sess *session) (sessionInfo, error) {
 	}
 	<-t.done
 	return si, nil
+}
+
+// handleList enumerates the registry: how a client discovers sessions
+// it did not create — in particular, sessions re-admitted by startup
+// recovery after a crash (flagged recovered). Each status is captured
+// on its session's shard loop; a session whose shard rejects the probe
+// (backpressure) is skipped rather than failing the listing.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	infos := make([]sessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		si, err := s.info(sess)
+		if err != nil {
+			continue
+		}
+		infos = append(infos, si)
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		return sessionOrd(infos[i].ID) < sessionOrd(infos[j].ID)
+	})
+	writeJSON(w, http.StatusOK, map[string][]sessionInfo{"sessions": infos})
+}
+
+// sessionOrd orders "s-<n>" IDs by admission number.
+func sessionOrd(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "s-"))
+	return n
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -251,12 +291,6 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// maxCheckpointBytes bounds the POST /sims/restore request body: a
-// checkpoint is dominated by the body heap (~200 B per body), so a 1 GiB
-// cap admits far larger simulations than the service would ever step
-// while keeping a hostile upload from exhausting memory.
-const maxCheckpointBytes = 1 << 30
-
 // handleCheckpoint serializes a live session's paused state as one
 // checkpoint container (application/octet-stream). The capture runs on
 // the session's shard loop — the same serialization domain as stepping,
@@ -307,9 +341,21 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // the client's fault — core.Restore marks those core.ErrBadCheckpoint
 // and they answer 400 — while a server-side failure constructing the
 // restore target stays a 500.
+//
+// The body is capped at Config.MaxRestoreBytes (-max-restore-bytes;
+// default 1 GiB — a checkpoint is dominated by the body heap at ~200 B
+// per body, so the default admits far larger simulations than the
+// service would ever step while keeping a hostile upload from
+// exhausting memory). An oversized upload answers 413.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBytes))
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRestoreBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("checkpoint exceeds the %d-byte upload cap", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad checkpoint body: " + err.Error()})
 		return
 	}
@@ -529,6 +575,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz is liveness plus the store's durability state: 503 only
+// while draining. A degraded store (persistent checkpoint-write
+// failures, e.g. a full disk) stays 200 — sessions keep running
+// in-memory and the service is still doing useful work — but the body
+// flips to "degraded" so operators can alert on lost durability.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -537,5 +588,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]string{"status": "ok"}
+	if st := s.cfg.Store; st != nil {
+		if st.Degraded() {
+			body["status"] = "degraded"
+			body["store"] = "degraded"
+		} else {
+			body["store"] = "ok"
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

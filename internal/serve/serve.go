@@ -31,6 +31,7 @@ import (
 
 	"upcbh/internal/bench"
 	"upcbh/internal/core"
+	"upcbh/internal/store"
 )
 
 // Config sizes the service. Zero values mean defaults.
@@ -56,6 +57,28 @@ type Config struct {
 	// Logf receives progress lines (cache hits, drains, stepper faults);
 	// nil silences them.
 	Logf func(format string, args ...any)
+
+	// Store is the durable checkpoint store (DESIGN.md §14). Nil disables
+	// durability: no auto-checkpoints, no startup recovery, and restores
+	// never consult disk.
+	Store *store.Store
+	// CkptEvery auto-checkpoints each live session every time it advances
+	// this many steps (0 = disabled).
+	CkptEvery int
+	// CkptInterval auto-checkpoints a live session when this much
+	// wall clock has passed since its last capture. Evaluated at step
+	// boundaries — an idle session's state isn't changing, so there is
+	// nothing new to capture (0 = disabled).
+	CkptInterval time.Duration
+	// CkptRetries bounds the persister's retries after a transient write
+	// failure (default 3; ENOSPC never retries).
+	CkptRetries int
+	// CkptBackoff is the persister's initial retry backoff, doubling per
+	// attempt (default 50ms).
+	CkptBackoff time.Duration
+	// MaxRestoreBytes caps the POST /sims/restore upload body
+	// (default 1 GiB); larger uploads get 413.
+	MaxRestoreBytes int64
 }
 
 func (c *Config) fillDefaults() {
@@ -74,6 +97,15 @@ func (c *Config) fillDefaults() {
 	if c.Runner == nil {
 		c.Runner = bench.NewRunner(0)
 	}
+	if c.CkptRetries <= 0 {
+		c.CkptRetries = 3
+	}
+	if c.CkptBackoff <= 0 {
+		c.CkptBackoff = 50 * time.Millisecond
+	}
+	if c.MaxRestoreBytes <= 0 {
+		c.MaxRestoreBytes = 1 << 30
+	}
 }
 
 // session is one live (or completed) simulation owned by a shard. All
@@ -85,9 +117,11 @@ type session struct {
 	shard *shard
 	hub   *hub
 
-	opts     core.Options
-	created  time.Time
-	cacheHit bool // born completed from the Options.Key() cache
+	opts      core.Options
+	created   time.Time
+	cacheHit  bool // born completed from the Options.Key() cache
+	recovered bool // re-admitted from the store at boot
+	fromStore bool // restore answered from the store, not the upload
 
 	// Shard-loop-owned state.
 	sim      *core.Sim    // nil for cache-hit sessions
@@ -95,6 +129,10 @@ type session struct {
 	finished bool
 	released bool
 	stepping bool // a stream stepper is driving this session
+
+	// Auto-checkpoint cadence (shard-loop-owned).
+	lastCkptStep int
+	lastCkptTime time.Time
 }
 
 // Server is the session service. Create with New, expose via Handler,
@@ -112,12 +150,18 @@ type Server struct {
 
 	steppers sync.WaitGroup
 
+	// Checkpoint persistence pipeline (nil when cfg.Store is nil).
+	persistCh   chan ckptJob
+	persistDone chan struct{}
+
 	// Counters (mu-guarded; small and cold).
 	created     uint64
 	cacheHits   uint64
 	released    uint64
 	rejected    uint64
+	recovered   uint64
 	snapDropped uint64 // fan-out drops of released sessions: keeps SnapshotsDropped monotone
+	ckpt        CkptStats
 }
 
 // New builds and starts a Server: the shard loops are running on return.
@@ -133,6 +177,14 @@ func New(cfg Config) *Server {
 		sh := newShard(i, cfg.QueueDepth)
 		s.shards = append(s.shards, sh)
 		go sh.run(cfg.Logf)
+	}
+	if cfg.Store != nil {
+		s.persistCh = make(chan ckptJob, persistQueueDepth)
+		s.persistDone = make(chan struct{})
+		go s.persister()
+		// Startup recovery: re-admit every recoverable session before the
+		// caller wires up the HTTP listener.
+		s.recoverSessions()
 	}
 	return s
 }
@@ -197,6 +249,8 @@ func (s *Server) createSession(opts core.Options) (*session, sessionInfo, error)
 		opts:    opts,
 		created: time.Now(),
 	}
+	// Interval cadence counts from admission, not the zero time.
+	sess.lastCkptTime = sess.created
 	var buildErr error
 	t, err := s.submit(sess.shard, func() {
 		// Content-addressed reuse: an identical completed run serves
@@ -266,7 +320,13 @@ func (s *Server) createSession(opts core.Options) (*session, sessionInfo, error)
 // consult the result cache: the point of restoring is the live,
 // resumable simulation (its completed Result still feeds the cache
 // through the ordinary finalize path).
-func (s *Server) restoreSession(data []byte) (*session, sessionInfo, error) {
+//
+// With a store configured the restore is durability-aware in both
+// directions: an upload whose (key, step) is already stored is answered
+// from the store's validated copy (from_store in the response), and a
+// novel valid upload is persisted asynchronously so a crash right after
+// the restore can still recover the session.
+func (s *Server) restoreSession(upload []byte) (*session, sessionInfo, error) {
 	var si sessionInfo
 	s.mu.Lock()
 	if s.draining {
@@ -277,6 +337,20 @@ func (s *Server) restoreSession(data []byte) (*session, sessionInfo, error) {
 	id := fmt.Sprintf("s-%d", s.nextID)
 	s.mu.Unlock()
 
+	data := upload
+	fromStore := false
+	var peekKey string
+	var peekStep int
+	if st := s.cfg.Store; st != nil {
+		if k, step, err := core.PeekCheckpointHeader(upload); err == nil {
+			peekKey, peekStep = k, step
+			if stored, serr := st.Get(k, step); serr == nil {
+				data = stored
+				fromStore = true
+			}
+		}
+	}
+
 	sess := &session{
 		id:      id,
 		shard:   s.shards[shardFor(id, len(s.shards))],
@@ -286,20 +360,35 @@ func (s *Server) restoreSession(data []byte) (*session, sessionInfo, error) {
 	var buildErr error
 	t, err := s.submit(sess.shard, func() {
 		sim, err := core.Restore(bytes.NewReader(data))
+		if err != nil && fromStore {
+			// The store's copy passed format validation but failed the
+			// deeper restore checks: quarantine it and fall back to the
+			// client's own upload.
+			s.cfg.Store.Quarantine(peekKey, peekStep)
+			fromStore = false
+			sim, err = core.Restore(bytes.NewReader(upload))
+		}
 		if err != nil {
 			buildErr = err
 			return
 		}
 		sess.sim = sim
+		sess.fromStore = fromStore
 		sess.opts = sim.Options()
 		sess.key = sess.opts.Key()
+		sess.lastCkptStep = sim.StepsDone()
+		sess.lastCkptTime = time.Now()
+		if s.cfg.Store != nil && !fromStore {
+			s.enqueueCkptLocked(ckptJob{key: sess.key, step: sim.StepsDone(), data: upload})
+		}
 		s.logf("session %s: restored at step %d (%s)", id, sim.StepsDone(), sess.key)
 		si = sessionInfo{
-			ID:    sess.id,
-			Key:   sess.key,
-			Shard: sess.shard.id,
-			Steps: sess.opts.Steps,
-			Done:  sim.StepsDone(),
+			ID:        sess.id,
+			Key:       sess.key,
+			Shard:     sess.shard.id,
+			Steps:     sess.opts.Steps,
+			Done:      sim.StepsDone(),
+			FromStore: fromStore,
 		}
 	})
 	if err != nil {
@@ -386,6 +475,11 @@ func (s *Server) stepLocked(sess *session, k int, wantBodies bool) (*core.Snapsh
 		if err := s.finalizeLocked(sess); err != nil {
 			return nil, err
 		}
+	} else {
+		// Crash safety: capture a durable checkpoint when one is due.
+		// Completed runs are skipped — their Result lands in the cache and
+		// the store's retention will age their entries out.
+		s.maybeAutoCheckpointLocked(sess)
 	}
 	return snap, nil
 }
@@ -529,6 +623,14 @@ func (s *Server) Shutdown() {
 	for _, sh := range s.shards {
 		<-sh.exited
 	}
+
+	// Every shard loop has exited, so no capture can enqueue anymore:
+	// close the persistence queue and wait for queued checkpoints to land
+	// (bounded: queue depth × retry budget).
+	if s.persistCh != nil {
+		close(s.persistCh)
+		<-s.persistDone
+	}
 	s.logf("drained: %d sessions released", s.Stats().Sessions.Released)
 }
 
@@ -538,7 +640,8 @@ type SessionStats struct {
 	Created   uint64 `json:"created"`
 	CacheHits uint64 `json:"cache_hits"` // creates served from the Options.Key() cache
 	Released  uint64 `json:"released"`
-	Rejected  uint64 `json:"rejected"` // requests shed by backpressure
+	Rejected  uint64 `json:"rejected"`  // requests shed by backpressure
+	Recovered uint64 `json:"recovered"` // sessions re-admitted from the store at boot
 }
 
 // ShardStats reports one shard's instantaneous load.
@@ -556,6 +659,8 @@ type Stats struct {
 	Runner           bench.RunnerStats `json:"runner"`
 	SnapshotsDropped uint64            `json:"snapshots_dropped"` // fan-out slow-consumer drops
 	Draining         bool              `json:"draining"`
+	Store            *store.Stats      `json:"store,omitempty"`       // nil without -store
+	Checkpoints      *CkptStats        `json:"checkpoints,omitempty"` // nil without -store
 }
 
 // Stats assembles the observability snapshot. It takes no shard tasks —
@@ -569,8 +674,13 @@ func (s *Server) Stats() Stats {
 			CacheHits: s.cacheHits,
 			Released:  s.released,
 			Rejected:  s.rejected,
+			Recovered: s.recovered,
 		},
 		Draining: s.draining,
+	}
+	if s.cfg.Store != nil {
+		ck := s.ckpt
+		st.Checkpoints = &ck
 	}
 	perShard := make(map[*shard]int)
 	dropped := s.snapDropped // drops of already-released sessions
@@ -589,6 +699,10 @@ func (s *Server) Stats() Stats {
 	}
 	st.SnapshotsDropped = dropped
 	st.Runner = s.runner.Stats()
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		st.Store = &ss
+	}
 	return st
 }
 

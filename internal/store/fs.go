@@ -1,0 +1,72 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the Store writes through. Every
+// disk operation the durability argument depends on — temp-file
+// creation, data fsync, atomic rename, directory fsync — goes through
+// this interface, so tests can inject EIO/ENOSPC, truncate writes, or
+// "crash" between any two calls and prove the store's invariants hold
+// (DESIGN.md §14). Production uses OSFS.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadDir lists dir.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making completed renames and
+	// removals durable (data fsync alone does not persist the directory
+	// entry pointing at it).
+	SyncDir(dir string) error
+}
+
+// File is one writable file handle handed out by FS.Create.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS: the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
